@@ -1,0 +1,110 @@
+"""Microbenchmarks of the substrate kernels.
+
+Not paper figures -- these keep the performance of the building blocks
+visible: the event kernel's throughput, the fluid-flow network, a real
+AMR Godunov step, isosurface extraction and block entropy.
+"""
+
+import numpy as np
+
+from repro.amr.box import Box
+from repro.amr.godunov import PolytropicGasSolver
+from repro.amr.hierarchy import AMRHierarchy
+from repro.amr.stepper import AMRStepper
+from repro.analysis.entropy import block_entropies
+from repro.analysis.isosurface import extract_isosurface
+from repro.hpc.event import Simulator
+from repro.hpc.network import Network
+from repro.hpc.resources import Resource
+
+
+def test_event_kernel_throughput(benchmark):
+    """Thousands of interleaved timers through the event loop."""
+
+    def run():
+        sim = Simulator()
+
+        def ticker(sim, n):
+            for _ in range(n):
+                yield sim.timeout(1.0)
+
+        for _ in range(100):
+            sim.process(ticker(sim, 100))
+        sim.run()
+        return sim.now
+
+    result = benchmark(run)
+    assert result == 100.0
+
+
+def test_resource_contention(benchmark):
+    """A thousand jobs through a contended 8-way resource."""
+
+    def run():
+        sim = Simulator()
+        cores = Resource(sim, capacity=8)
+
+        def job(sim):
+            yield cores.request(1)
+            yield sim.timeout(1.0)
+            cores.release(1)
+
+        for _ in range(1000):
+            sim.process(job(sim))
+        sim.run()
+        return sim.now
+
+    assert benchmark(run) == 125.0
+
+
+def test_network_flow_churn(benchmark):
+    """Hundreds of overlapping flows with max-min fair sharing."""
+
+    def run():
+        sim = Simulator()
+        net = Network(sim)
+        net.add_link("a", "b", bandwidth=100.0)
+
+        def source(sim):
+            for i in range(50):
+                done = net.transfer("a", "b", nbytes=10.0 + i)
+                yield sim.timeout(0.05)
+                del done
+
+        for _ in range(6):
+            sim.process(source(sim))
+        sim.run()
+        return net.total_bytes_moved
+
+    moved = benchmark(run)
+    assert moved > 0
+
+
+def test_amr_godunov_step(benchmark):
+    """One full AMR step of the 3-D gas solver (2 levels, 32^3 base)."""
+    hierarchy = AMRHierarchy(
+        Box((0, 0, 0), (31, 31, 31)), ncomp=5, nghost=2, max_levels=2,
+        max_box_size=16, dx0=1 / 32, periodic=True,
+    )
+    stepper = AMRStepper(hierarchy, PolytropicGasSolver(tag_threshold=0.05),
+                         regrid_interval=4)
+    stats = benchmark(stepper.step)
+    assert stats.total_cells >= 32**3
+
+
+def test_isosurface_extraction(benchmark):
+    """Marching tetrahedra over a 64^3 sphere field."""
+    n = 64
+    ax = (np.arange(n) + 0.5) / n - 0.5
+    x, y, z = np.meshgrid(ax, ax, ax, indexing="ij")
+    field = 0.3 - np.sqrt(x * x + y * y + z * z)
+    verts, tris = benchmark(extract_isosurface, field, 0.0)
+    assert len(tris) > 1000
+
+
+def test_block_entropy(benchmark):
+    """Block entropies of a 64^3 field in 8^3 blocks."""
+    rng = np.random.default_rng(0)
+    field = rng.normal(size=(64, 64, 64))
+    out = benchmark(block_entropies, field, (8, 8, 8))
+    assert out.shape == (8, 8, 8)

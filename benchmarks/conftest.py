@@ -1,0 +1,25 @@
+"""Benchmark harness configuration.
+
+Every ``bench_fig*`` / ``bench_table*`` benchmark regenerates one figure
+or table of the paper and *prints* the reproduced rows/series (run pytest
+with ``-s`` to see them), while pytest-benchmark records the wall time of
+the regeneration.  Experiment runs are deterministic, so a single round
+is meaningful.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark ``fn`` with one warm round (experiments are deterministic)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture()
+def once(benchmark):
+    """Fixture wrapper around :func:`run_once`."""
+
+    def _run(fn, *args, **kwargs):
+        return run_once(benchmark, fn, *args, **kwargs)
+
+    return _run

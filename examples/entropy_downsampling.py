@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Entropy-guided adaptive down-sampling of a real blast-wave field.
+
+The paper's Fig. 6 story end-to-end: run the 3-D Polytropic Gas solver,
+compute per-block Shannon entropies of the density field (Eq. 11), map
+them to down-sampling factors, and quantify what the reduction costs --
+bytes saved vs reconstruction error vs isosurface fidelity -- separately
+for low- and high-entropy regions.
+
+Run:  python examples/entropy_downsampling.py
+"""
+
+import numpy as np
+
+from repro.amr import AMRHierarchy, AMRStepper, Box, PolytropicGasSolver
+from repro.analysis import (
+    block_entropies,
+    entropy_downsample_factors,
+    isosurface_fidelity,
+    reconstruction_error,
+)
+from repro.units import format_bytes
+
+N = 48
+BLOCK = 8
+STEPS = 20
+
+
+def main() -> None:
+    domain = Box((0, 0, 0), (N - 1, N - 1, N - 1))
+    hierarchy = AMRHierarchy(
+        domain, ncomp=5, nghost=2, max_levels=2, max_box_size=16,
+        dx0=1.0 / N, periodic=True,
+    )
+    solver = PolytropicGasSolver(tag_threshold=0.06, blast_pressure_jump=30.0,
+                                 blast_density_jump=5.0)
+    stepper = AMRStepper(hierarchy, solver, regrid_interval=4)
+    print(f"running the gas solver for {STEPS} steps on a {N}^3 domain ...")
+    stepper.run(STEPS)
+    density = hierarchy.levels[0].data.to_dense(hierarchy.level_domain(0))[0]
+
+    entropies = block_entropies(density, (BLOCK, BLOCK, BLOCK), bins=256)
+    threshold = 0.5 * (entropies.min() + entropies.max())
+    factors = entropy_downsample_factors(entropies, [threshold], [4, 1])
+    print(f"\nblock entropies: {entropies.min():.2f} .. {entropies.max():.2f} bits "
+          f"(threshold {threshold:.2f})")
+
+    kept = reduced = 0
+    saved_bytes = 0.0
+    errs_low, errs_high = [], []
+    for idx in np.ndindex(*entropies.shape):
+        slc = tuple(slice(i * BLOCK, min((i + 1) * BLOCK, s))
+                    for i, s in zip(idx, density.shape))
+        block = density[slc]
+        err = reconstruction_error(block, 4)
+        if factors[idx] > 1:
+            reduced += 1
+            saved_bytes += block.nbytes * (1 - 1 / 64)
+            errs_low.append(err)
+        else:
+            kept += 1
+            errs_high.append(err)
+
+    print(f"blocks kept at full resolution: {kept}")
+    print(f"blocks down-sampled x4:         {reduced} "
+          f"(saving {format_bytes(saved_bytes)})")
+    print(f"mean reconstruction error of reduced (low-entropy) blocks: "
+          f"{np.mean(errs_low):.4f}")
+    print(f"...vs what reducing the kept (high-entropy) blocks would cost: "
+          f"{np.mean(errs_high):.4f}")
+
+    iso = float(np.percentile(density, 90))
+    fid = isosurface_fidelity(density, iso, 4, spacing=(1 / N,) * 3)
+    print(f"\nuniform x4 reduction for contrast: isosurface would keep only "
+          f"{fid.triangle_ratio * 100:.0f}% of its triangles "
+          f"({fid.area_ratio * 100:.0f}% of its area)")
+    print("entropy-guided reduction keeps the high-entropy (shock) blocks "
+          "intact instead.")
+
+
+if __name__ == "__main__":
+    main()

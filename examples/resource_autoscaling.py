@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Resource-layer adaptation: right-sizing the in-transit staging area.
+
+The paper's Fig. 9 scenario at example scale: a gas workflow whose
+refined region grows over the run.  With a static 256-core staging area
+most cores idle early on; the adaptive policy (Eqs. 9-10) activates just
+enough cores to finish each step's analysis before the next step's data
+arrives, growing the allocation as refinement raises the analysis load
+-- same time-to-solution, far better utilization (Eq. 12).
+
+Run:  python examples/resource_autoscaling.py
+"""
+
+from repro.experiments.fig9_resource import polytropic_trace
+from repro.hpc.systems import intrepid
+from repro.units import format_seconds
+from repro.workflow import Mode, WorkflowConfig, run_workflow
+
+
+def main() -> None:
+    trace = polytropic_trace(steps=30)
+
+    def config(mode: Mode) -> WorkflowConfig:
+        return WorkflowConfig(
+            mode=mode,
+            sim_cores=4096,
+            staging_cores=256,
+            spec=intrepid(),
+            analysis_cost_per_cell=0.1,
+        )
+
+    static = run_workflow(config(Mode.STATIC_INTRANSIT), trace)
+    adaptive = run_workflow(config(Mode.ADAPTIVE_RESOURCE), trace)
+
+    print("active staging cores per step (static always 256):\n")
+    series = adaptive.staging_cores_series()
+    peak = max(256, series.max())
+    for step, cores in enumerate(series, start=1):
+        bar = "#" * int(40 * cores / peak)
+        print(f"  step {step:2d}  {int(cores):4d}  {bar}")
+
+    print("\n                      static      adaptive")
+    print(f"end-to-end time    {format_seconds(static.end_to_end_seconds):>9s}"
+          f"  {format_seconds(adaptive.end_to_end_seconds):>12s}")
+    print(f"utilization (Eq.12) {static.utilization_efficiency * 100:7.1f}%"
+          f"  {adaptive.utilization_efficiency * 100:11.1f}%")
+    print(f"idle core-seconds  {static.staging_idle_core_seconds:9.0f}"
+          f"  {adaptive.staging_idle_core_seconds:12.0f}")
+    print("\nthe adaptive allocation starts near ~50 cores and grows with the "
+          "refined region\n(paper: 87.11% vs 54.57% utilization efficiency)")
+
+
+if __name__ == "__main__":
+    main()

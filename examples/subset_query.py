@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""In-situ index building + data subsetting on a real blast field.
+
+The paper lists data subsetting among the communication-free analyses
+its placement machinery supports, and cites in-situ index building as
+the enabling related work.  This example runs the 3-D gas solver, builds
+a per-block min/max index in-situ, and answers "where is the shock?"
+range queries -- showing how much raw data the index lets the query skip.
+
+Run:  python examples/subset_query.py
+"""
+
+import numpy as np
+
+from repro.amr import AMRHierarchy, AMRStepper, Box, PolytropicGasSolver
+from repro.analysis import BlockRangeIndex, query_range
+from repro.units import format_bytes
+
+N = 48
+STEPS = 18
+BLOCK = 8
+
+
+def main() -> None:
+    domain = Box((0, 0, 0), (N - 1, N - 1, N - 1))
+    hierarchy = AMRHierarchy(domain, ncomp=5, nghost=2, max_levels=2,
+                             max_box_size=16, dx0=1.0 / N, periodic=True)
+    solver = PolytropicGasSolver(tag_threshold=0.06, blast_pressure_jump=30.0,
+                                 blast_density_jump=5.0)
+    stepper = AMRStepper(hierarchy, solver, regrid_interval=4)
+    print(f"running the gas solver for {STEPS} steps on a {N}^3 domain ...")
+    stepper.run(STEPS)
+
+    density = hierarchy.levels[0].data.to_dense(hierarchy.level_domain(0))[0]
+    index = BlockRangeIndex(density, (BLOCK, BLOCK, BLOCK))
+    print(f"\nin-situ index: {len(index)} blocks, {format_bytes(index.nbytes)} "
+          f"(raw field: {format_bytes(density.nbytes)})")
+
+    queries = [
+        ("shock front (top 5% density)", float(np.percentile(density, 95)),
+         float(density.max())),
+        ("ambient gas (bottom quartile)", float(density.min()),
+         float(np.percentile(density, 25))),
+        ("undisturbed gas (below median)", float(density.min()),
+         float(np.median(density))),
+    ]
+    print(f"\n{'query':34s} {'cells':>8s} {'blocks scanned':>15s}")
+    for label, lo, hi in queries:
+        hits = query_range(density, lo, hi, index=index)
+        selectivity = index.selectivity(lo, hi)
+        print(f"{label:34s} {len(hits):8d} {selectivity:14.0%}")
+
+    print("\nthe index prunes whole blocks before any raw data is read -- "
+          "the same\nper-block summaries the entropy-driven reduction "
+          "policy consumes.")
+
+
+if __name__ == "__main__":
+    main()

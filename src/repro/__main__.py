@@ -1,0 +1,142 @@
+"""Command-line interface: regenerate the paper's experiments.
+
+Usage::
+
+    python -m repro list
+    python -m repro fig7
+    python -m repro table2
+    python -m repro ablations
+    python -m repro all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Callable
+
+__all__ = ["main"]
+
+
+def _fig1() -> str:
+    from repro.experiments import fig1_memory
+
+    return fig1_memory.render(fig1_memory.run_fig1())
+
+
+def _fig4() -> str:
+    from repro.experiments import fig4_timeline
+
+    return fig4_timeline.render(fig4_timeline.run_fig4())
+
+
+def _fig5() -> str:
+    from repro.experiments import fig5_app_layer
+
+    return fig5_app_layer.render(fig5_app_layer.run_fig5())
+
+
+def _fig6() -> str:
+    from repro.experiments import fig6_entropy
+
+    return fig6_entropy.render(fig6_entropy.run_fig6())
+
+
+def _fig7() -> str:
+    from repro.experiments import fig7_placement
+
+    return fig7_placement.render(fig7_placement.run_fig7())
+
+
+def _fig8() -> str:
+    from repro.experiments import fig8_data_movement
+
+    return fig8_data_movement.render(fig8_data_movement.run_fig8())
+
+
+def _fig9() -> str:
+    from repro.experiments import fig9_resource
+
+    return fig9_resource.render(fig9_resource.run_fig9())
+
+
+def _fig10() -> str:
+    from repro.experiments import fig10_global
+
+    return fig10_global.render(fig10_global.run_fig10())
+
+
+def _fig11() -> str:
+    from repro.experiments import fig11_global_movement
+
+    return fig11_global_movement.render(fig11_global_movement.run_fig11())
+
+
+def _table2() -> str:
+    from repro.experiments import table2_utilization
+
+    return table2_utilization.render(table2_utilization.run_table2())
+
+
+def _ablations() -> str:
+    from repro.experiments import ablations
+
+    return ablations.render_all()
+
+
+def _objectives() -> str:
+    from repro.experiments import objectives
+
+    return objectives.render(objectives.run_objectives())
+
+
+EXPERIMENTS: dict[str, tuple[str, Callable[[], str]]] = {
+    "fig1": ("peak-memory distribution, Polytropic Gas", _fig1),
+    "fig4": ("placement decision timeline", _fig4),
+    "fig5": ("adaptive spatial resolution vs memory", _fig5),
+    "fig6": ("entropy-based down-sampling fidelity", _fig6),
+    "fig7": ("end-to-end time: static vs adaptive placement", _fig7),
+    "fig8": ("data movement: in-transit vs adaptive", _fig8),
+    "fig9": ("adaptive staging allocation + Eq. 12", _fig9),
+    "fig10": ("global cross-layer vs local adaptation", _fig10),
+    "fig11": ("data movement: global vs local", _fig11),
+    "table2": ("staging core usage histogram", _table2),
+    "ablations": ("design-choice sweeps", _ablations),
+    "objectives": ("user-preference trade-off comparison", _objectives),
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate the experiments of Jin et al., SC'13.",
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment id (see 'list'), 'all', or 'list'",
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        width = max(len(name) for name in EXPERIMENTS)
+        for name, (description, _fn) in EXPERIMENTS.items():
+            print(f"{name.ljust(width)}  {description}")
+        return 0
+
+    if args.experiment == "all":
+        for name, (_description, fn) in EXPERIMENTS.items():
+            print(f"\n### {name} " + "#" * max(0, 66 - len(name)))
+            print(fn())
+        return 0
+
+    entry = EXPERIMENTS.get(args.experiment)
+    if entry is None:
+        print(f"unknown experiment {args.experiment!r}; try 'list'",
+              file=sys.stderr)
+        return 2
+    print(entry[1]())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

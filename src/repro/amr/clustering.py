@@ -1,0 +1,159 @@
+"""Berger-Rigoutsos grid generation.
+
+Turns a boolean tag mask into a set of boxes covering every tagged cell
+with at least a given fill efficiency.  This is the classic
+Berger-Rigoutsos (1991) algorithm used by Chombo's ``BRMeshRefine``:
+
+1. Take the minimal bounding box of the tags.
+2. If its fill ratio (tagged / total cells) is acceptable and it is small
+   enough, accept it.
+3. Otherwise find a cut plane: prefer a *hole* (zero of the tag
+   signature), else the strongest *inflection* of the signature's second
+   difference, else the midpoint; recurse on both halves.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.amr.box import Box
+from repro.errors import GeometryError
+
+__all__ = ["cluster_tags"]
+
+
+def cluster_tags(
+    tags: np.ndarray,
+    fill_ratio: float = 0.7,
+    max_box_size: int = 32,
+    origin: tuple[int, ...] | None = None,
+) -> list[Box]:
+    """Cover all True cells of ``tags`` with boxes.
+
+    Parameters
+    ----------
+    tags:
+        Boolean mask in level index space.
+    fill_ratio:
+        Minimum fraction of tagged cells a produced box must contain.
+    max_box_size:
+        Maximum extent of any produced box in any direction.
+    origin:
+        Index-space coordinate of ``tags[0, 0, ...]``; defaults to zeros.
+
+    Returns an empty list when nothing is tagged.  Produced boxes are
+    pairwise disjoint and jointly cover every tagged cell.
+    """
+    if not (0.0 < fill_ratio <= 1.0):
+        raise GeometryError(f"fill_ratio must be in (0, 1], got {fill_ratio}")
+    if max_box_size < 1:
+        raise GeometryError(f"max_box_size must be >= 1, got {max_box_size}")
+    tags = np.asarray(tags, dtype=bool)
+    if origin is None:
+        origin = tuple(0 for _ in range(tags.ndim))
+    if len(origin) != tags.ndim:
+        raise GeometryError(f"origin rank {len(origin)} != tags rank {tags.ndim}")
+    if not tags.any():
+        return []
+
+    bound = _bounding_box(tags)
+    accepted: list[Box] = []
+    _recurse(tags, bound, fill_ratio, max_box_size, accepted)
+    return [box.shift(origin) for box in accepted]
+
+
+def _bounding_box(tags: np.ndarray) -> Box:
+    """Minimal box (in local array coordinates) containing all True cells."""
+    coords = np.nonzero(tags)
+    lo = tuple(int(c.min()) for c in coords)
+    hi = tuple(int(c.max()) for c in coords)
+    return Box(lo, hi)
+
+
+def _abs_slices(region: Box) -> tuple[slice, ...]:
+    """Slices of ``region`` in an array whose index 0 is coordinate 0."""
+    return tuple(slice(l, h + 1) for l, h in zip(region.lo, region.hi))
+
+
+def _recurse(
+    tags: np.ndarray,
+    region: Box,
+    fill_ratio: float,
+    max_box_size: int,
+    accepted: list[Box],
+) -> None:
+    sub = tags[_abs_slices(region)]
+    count = int(sub.sum())
+    if count == 0:
+        return
+    # Shrink to the tight bounding box inside this region first.
+    tight = _bounding_box(sub).shift(region.lo)
+    if tight != region:
+        _recurse(tags, tight, fill_ratio, max_box_size, accepted)
+        return
+    ratio = count / region.size
+    if ratio >= fill_ratio and max(region.shape) <= max_box_size:
+        accepted.append(region)
+        return
+    axis, cut = _find_cut(sub, region)
+    if cut is None:
+        # Cannot split (all extents are 1): accept regardless of ratio.
+        accepted.append(region)
+        return
+    low, high = region.split_axis(axis, cut)
+    _recurse(tags, low, fill_ratio, max_box_size, accepted)
+    _recurse(tags, high, fill_ratio, max_box_size, accepted)
+
+
+def _find_cut(sub: np.ndarray, region: Box) -> tuple[int, int | None]:
+    """Choose a cut plane: holes first, then inflections, then midpoint.
+
+    Returns ``(axis, absolute_cut_index)`` with the cut strictly inside the
+    region; ``(0, None)`` when no axis can be split.
+    """
+    splittable = [d for d in range(sub.ndim) if region.shape[d] >= 2]
+    if not splittable:
+        return 0, None
+    # Prefer splitting the longest axis when quality ties.
+    splittable.sort(key=lambda d: -region.shape[d])
+
+    # 1. Look for holes in the signature (Berger-Rigoutsos "Phi = 0").
+    for axis in splittable:
+        signature = _signature(sub, axis)
+        zeros = np.nonzero(signature == 0)[0]
+        if zeros.size:
+            # Cut at the hole nearest the centre for balanced halves.
+            centre = (len(signature) - 1) / 2
+            hole = int(zeros[np.argmin(np.abs(zeros - centre))])
+            cut_local = hole + 1 if hole + 1 < len(signature) else hole
+            if 0 < cut_local < len(signature):
+                return axis, region.lo[axis] + cut_local
+
+    # 2. Strongest inflection in the Laplacian of the signature.
+    best: tuple[float, int, int] | None = None
+    for axis in splittable:
+        signature = _signature(sub, axis)
+        if len(signature) < 4:
+            continue
+        lap = signature[:-2] - 2 * signature[1:-1] + signature[2:]
+        jump = np.abs(np.diff(lap))
+        if jump.size == 0:
+            continue
+        k = int(np.argmax(jump))
+        strength = float(jump[k])
+        cut_local = k + 2  # between lap[k] and lap[k+1], in cell coordinates
+        if 0 < cut_local < len(signature) and strength > 0:
+            if best is None or strength > best[0]:
+                best = (strength, axis, region.lo[axis] + cut_local)
+    if best is not None:
+        return best[1], best[2]
+
+    # 3. Fall back to the midpoint of the longest splittable axis.
+    axis = splittable[0]
+    return axis, region.lo[axis] + region.shape[axis] // 2
+
+
+def _signature(sub: np.ndarray, axis: int) -> np.ndarray:
+    """Tag counts per plane perpendicular to ``axis``."""
+    other = tuple(d for d in range(sub.ndim) if d != axis)
+    return sub.sum(axis=other).astype(np.int64)

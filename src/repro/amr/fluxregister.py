@@ -1,0 +1,242 @@
+"""Coarse-fine flux correction (Chombo's ``LevelFluxRegister``).
+
+Without correction, a coarse cell adjacent to a refined region is updated
+with the *coarse* flux through the coarse-fine interface while the fine
+cells on the other side use *fine* fluxes -- the mismatch silently
+creates or destroys conserved quantity at the interface.  Refluxing
+replaces the coarse flux with the (area-averaged) fine flux on every
+boundary face:
+
+    dU_outside = s * dt/dx_c * (F_coarse - <F_fine>)
+
+with ``s = +1`` when the uncovered cell sits on the low side of the face
+and ``-1`` on the high side.
+
+This implementation keeps dense face-centered accumulators over the
+coarse domain -- simple and exact; a production code would store only the
+boundary faces.  :func:`assemble_dense_fluxes` gathers per-box solver
+fluxes into the dense layout (shared faces are written consistently
+because neighbouring boxes see identical ghost data).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.amr.box import Box
+from repro.amr.level import LevelData
+from repro.errors import HierarchyError
+
+__all__ = ["FluxRegister", "assemble_dense_fluxes"]
+
+
+def assemble_dense_fluxes(
+    data: LevelData,
+    box_fluxes: list[list[np.ndarray]],
+    domain: Box,
+) -> list[np.ndarray]:
+    """Gather per-box face fluxes into dense per-axis arrays over ``domain``.
+
+    ``box_fluxes[i][axis]`` is the flux array ``compute_fluxes`` returned
+    for box ``i``: shape ``(ncomp, ...)`` with ``n_axis + 1`` faces along
+    ``axis`` and interior extents elsewhere.  The dense array for axis
+    ``d`` has ``domain.shape[d] + 1`` entries along ``d``.
+    """
+    ndim = domain.ndim
+    ncomp = data.ncomp
+    dense: list[np.ndarray] = []
+    for axis in range(ndim):
+        shape = list(domain.shape)
+        shape[axis] += 1
+        dense.append(np.zeros((ncomp, *shape)))
+    for i, box in enumerate(data.layout):
+        for axis in range(ndim):
+            F = box_fluxes[i][axis]
+            slc: list[slice] = [slice(None)]
+            for d in range(ndim):
+                lo = box.lo[d] - domain.lo[d]
+                hi = box.hi[d] - domain.lo[d]
+                if d == axis:
+                    slc.append(slice(lo, hi + 2))
+                else:
+                    slc.append(slice(lo, hi + 1))
+            dense[axis][tuple(slc)] = F
+    return dense
+
+
+class FluxRegister:
+    """Accumulates coarse/fine flux differences on the coarse-fine boundary.
+
+    Parameters
+    ----------
+    coarse_domain:
+        The coarse level's problem domain.
+    fine_boxes_coarsened:
+        The fine level's boxes, coarsened to coarse index space.
+    ncomp:
+        Conserved components.
+    ref_ratio:
+        Refinement ratio between the two levels.
+    periodic:
+        Treat faces wrapping the domain boundary as interior (so a fine
+        region touching the boundary still refluxes across the wrap).
+    """
+
+    def __init__(
+        self,
+        coarse_domain: Box,
+        fine_boxes_coarsened: list[Box],
+        ncomp: int,
+        ref_ratio: int,
+        periodic: bool = True,
+    ):
+        if ref_ratio < 2:
+            raise HierarchyError(f"ref_ratio must be >= 2, got {ref_ratio}")
+        self.domain = coarse_domain
+        self.ncomp = ncomp
+        self.ref_ratio = ref_ratio
+        self.ndim = coarse_domain.ndim
+        self.periodic = periodic
+
+        # Mask of coarse cells covered by the fine level.
+        mask = np.zeros(coarse_domain.shape, dtype=bool)
+        origin = coarse_domain.lo
+        for cbox in fine_boxes_coarsened:
+            clipped = cbox.intersect(coarse_domain)
+            if clipped.is_empty():
+                raise HierarchyError(f"fine box {cbox} outside coarse domain")
+            slc = tuple(
+                slice(l - o, h - o + 1)
+                for l, h, o in zip(clipped.lo, clipped.hi, origin)
+            )
+            mask[slc] = True
+        self.mask = mask
+
+        # Per axis: boolean boundary-face masks and the outside-cell side.
+        # Interior faces along axis d are indexed 1..n-1 in a (n+1)-face
+        # array; face f sits between cells f-1 and f.
+        self._boundary: list[np.ndarray] = []
+        self._low_outside: list[np.ndarray] = []
+        self._acc: list[np.ndarray] = []
+        for axis in range(self.ndim):
+            n_faces = coarse_domain.shape[axis] + 1
+            shape = list(coarse_domain.shape)
+            shape[axis] = n_faces
+            boundary = np.zeros(shape, dtype=bool)
+            low_outside = np.zeros(shape, dtype=bool)
+
+            lo_cells = self._axis_slice(slice(None, -1), axis, mask.ndim)
+            hi_cells = self._axis_slice(slice(1, None), axis, mask.ndim)
+            inner = self._axis_slice(slice(1, -1), axis, boundary.ndim)
+            differs = mask[lo_cells] != mask[hi_cells]
+            boundary[inner] = differs
+            low_outside[inner] = differs & ~mask[lo_cells]
+
+            if periodic:
+                # Wrap face between the last and first cell: registered at
+                # face index 0 only (face n is the same physical face; the
+                # flux accessors fold its value in).
+                first = self._axis_slice(slice(0, 1), axis, mask.ndim)
+                last = self._axis_slice(slice(-1, None), axis, mask.ndim)
+                wrap_differs = mask[last] != mask[first]
+                face_first = self._axis_slice(slice(0, 1), axis, boundary.ndim)
+                boundary[face_first] = wrap_differs
+                # For the wrap face, the "low" cell is the last cell.
+                low_outside[face_first] = wrap_differs & ~mask[last]
+
+            self._boundary.append(boundary)
+            self._low_outside.append(low_outside)
+            self._acc.append(np.zeros((ncomp, *shape)))
+
+    @staticmethod
+    def _axis_slice(sl: slice, axis: int, ndim: int) -> tuple[slice, ...]:
+        return tuple(sl if d == axis else slice(None) for d in range(ndim))
+
+    @property
+    def boundary_face_count(self) -> int:
+        """Total coarse-fine boundary faces over all axes."""
+        return sum(int(boundary.sum()) for boundary in self._boundary)
+
+    def reset(self) -> None:
+        """Zero the accumulators (call at the start of every coarse step)."""
+        for acc in self._acc:
+            acc[...] = 0.0
+
+    def add_coarse(self, axis: int, dense_flux: np.ndarray, dt: float) -> None:
+        """Accumulate ``+dt * F_coarse`` on the boundary faces of ``axis``."""
+        acc = self._acc[axis]
+        sel = self._boundary[axis]
+        acc[:, sel] += dt * dense_flux[:, sel]
+
+    def add_fine(self, axis: int, dense_fine_flux: np.ndarray, dt: float) -> None:
+        """Accumulate ``-dt * <F_fine>`` (transverse average) on the boundary.
+
+        ``dense_fine_flux`` covers the *fine* domain's faces; the fine
+        faces aligned with coarse face index ``I`` start at ``r * I`` and
+        span ``r`` faces in each transverse direction.  On periodic
+        domains the last face's values are folded into face 0 (same
+        physical face; exactly one of the two carries the fine flux).
+        """
+        r = self.ref_ratio
+        restricted = self._restrict_faces(dense_fine_flux, axis, r)
+        if self.periodic:
+            first = self._axis_slice(slice(0, 1), axis, self.ndim)
+            last = self._axis_slice(slice(-1, None), axis, self.ndim)
+            restricted[(slice(None), *first)] += restricted[(slice(None), *last)]
+        acc = self._acc[axis]
+        sel = self._boundary[axis]
+        acc[:, sel] -= dt * restricted[:, sel]
+
+    def _restrict_faces(self, fine: np.ndarray, axis: int, r: int) -> np.ndarray:
+        """Average fine face fluxes onto coarse faces."""
+        out = fine
+        # Along the face axis: take every r-th face (aligned faces).
+        slc = [slice(None)] * out.ndim
+        slc[1 + axis] = slice(None, None, r)
+        out = out[tuple(slc)]
+        # Transverse axes: block-average r fine faces per coarse face.
+        for d in range(self.ndim):
+            if d == axis:
+                continue
+            shape = list(out.shape)
+            n = shape[1 + d] // r
+            new_shape = shape[:1 + d] + [n, r] + shape[2 + d:]
+            out = out.reshape(new_shape).mean(axis=2 + d)
+        return out
+
+    def apply(self, coarse: LevelData, dx: float) -> float:
+        """Scatter the corrections into uncovered coarse cells.
+
+        Returns the largest absolute correction applied (diagnostic).
+        """
+        ndim = self.ndim
+        origin = self.domain.lo
+        max_delta = 0.0
+        # Build a dense correction field, then copy into the box arrays.
+        correction = np.zeros((self.ncomp, *self.domain.shape))
+        for axis in range(ndim):
+            acc = self._acc[axis]  # dt * (F_c - <F_f>) on boundary faces
+            low = self._low_outside[axis]
+            high = self._boundary[axis] & ~low
+            n = self.domain.shape[axis]
+            # Low-side outside cell of face f is cell f-1 (wraps for f=0).
+            faces = np.argwhere(low)
+            for face in faces:
+                cell = list(face)
+                cell[axis] = (face[axis] - 1) % n
+                correction[(slice(None), *cell)] += acc[(slice(None), *face)] / dx
+            faces = np.argwhere(high)
+            for face in faces:
+                cell = list(face)
+                cell[axis] = face[axis] % n
+                correction[(slice(None), *cell)] -= acc[(slice(None), *face)] / dx
+        if correction.any():
+            max_delta = float(np.abs(correction).max())
+            for i, box in enumerate(coarse.layout):
+                view = coarse.valid_view(i)
+                slc = tuple(
+                    slice(l - o, h - o + 1)
+                    for l, h, o in zip(box.lo, box.hi, origin)
+                )
+                view += correction[(slice(None), *slc)]
+        return max_delta

@@ -1,0 +1,324 @@
+"""The multi-level AMR hierarchy: levels, regridding and interlevel data motion.
+
+An :class:`AMRHierarchy` owns a stack of :class:`LevelSpec` objects, level 0
+covering the whole problem domain and each finer level refined by
+``ref_ratio``.  The hierarchy implements the Chombo workflow used by the
+paper's applications:
+
+- :meth:`fill_ghosts` -- prolong coarse data under fine ghost regions,
+  exchange same-level ghosts, apply physical boundary conditions;
+- :meth:`average_down` -- conservative restriction keeping coarse data
+  consistent with the finest covering level;
+- :meth:`regrid` -- Berger-Rigoutsos clustering of buffered tags with
+  proper nesting, preserving data on regions that stay refined.
+
+The hierarchy is solver-agnostic; :mod:`repro.amr.stepper` couples it to
+the advection-diffusion and polytropic-gas kernels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.amr.box import Box
+from repro.amr.clustering import cluster_tags
+from repro.amr.coarsefine import prolong, restrict
+from repro.amr.layout import BoxLayout
+from repro.amr.level import LevelData
+from repro.amr.tagging import buffer_tags
+from repro.errors import HierarchyError
+
+__all__ = ["AMRHierarchy", "LevelSpec"]
+
+
+@dataclass
+class LevelSpec:
+    """One level of the hierarchy: a layout and its data."""
+
+    layout: BoxLayout
+    data: LevelData
+
+
+class AMRHierarchy:
+    """A block-structured AMR grid hierarchy.
+
+    Parameters
+    ----------
+    domain:
+        Level-0 problem domain (cell-indexed box starting anywhere).
+    ncomp, nghost:
+        Components and ghost width of the state data on every level.
+    ref_ratio:
+        Refinement ratio between consecutive levels (Chombo default 2).
+    max_levels:
+        Total number of levels allowed (1 = no refinement).
+    nranks:
+        Virtual MPI ranks for load balancing.
+    max_box_size, fill_ratio, tag_buffer:
+        Grid-generation parameters (Berger-Rigoutsos).
+    dx0:
+        Level-0 mesh spacing.
+    periodic:
+        Apply periodic boundary conditions on the domain.
+    """
+
+    def __init__(
+        self,
+        domain: Box,
+        ncomp: int = 1,
+        nghost: int = 2,
+        ref_ratio: int = 2,
+        max_levels: int = 2,
+        nranks: int = 1,
+        max_box_size: int = 32,
+        fill_ratio: float = 0.7,
+        tag_buffer: int = 2,
+        dx0: float = 1.0,
+        periodic: bool = True,
+        dtype: np.dtype | type = np.float64,
+    ):
+        if max_levels < 1:
+            raise HierarchyError(f"max_levels must be >= 1, got {max_levels}")
+        if ref_ratio < 2:
+            raise HierarchyError(f"ref_ratio must be >= 2, got {ref_ratio}")
+        self.domain = domain
+        self.ncomp = ncomp
+        self.nghost = nghost
+        self.ref_ratio = ref_ratio
+        self.max_levels = max_levels
+        self.nranks = nranks
+        self.max_box_size = max_box_size
+        self.fill_ratio = fill_ratio
+        self.tag_buffer = tag_buffer
+        self.dx0 = float(dx0)
+        self.periodic = periodic
+        self.dtype = dtype
+
+        base_layout = BoxLayout(domain.chop(max_box_size), nranks=nranks)
+        base = LevelSpec(base_layout, LevelData(base_layout, ncomp, nghost, dtype))
+        self.levels: list[LevelSpec] = [base]
+
+    # -- geometry ------------------------------------------------------------
+
+    @property
+    def finest_level(self) -> int:
+        """Index of the finest active level."""
+        return len(self.levels) - 1
+
+    def level_domain(self, level: int) -> Box:
+        """The problem domain refined to ``level``'s index space."""
+        return self.domain.refine(self.ref_ratio**level)
+
+    def dx(self, level: int) -> float:
+        """Mesh spacing at ``level``."""
+        return self.dx0 / (self.ref_ratio**level)
+
+    def total_cells(self) -> int:
+        """Valid cells summed over all levels."""
+        return sum(spec.layout.total_cells for spec in self.levels)
+
+    def total_bytes(self) -> int:
+        """State bytes (ghosts included) summed over all levels."""
+        return sum(spec.data.nbytes for spec in self.levels)
+
+    def rank_bytes(self) -> np.ndarray:
+        """State bytes per virtual rank summed over levels."""
+        out = np.zeros(self.nranks, dtype=np.int64)
+        for spec in self.levels:
+            out += spec.data.rank_bytes()
+        return out
+
+    # -- interlevel data motion ----------------------------------------------
+
+    def fill_ghosts(self, level: int) -> int:
+        """Fill ghost cells of ``level``: coarse interpolation, exchange, physical BCs.
+
+        Returns bytes moved in the same-level exchange (halo traffic).
+        """
+        spec = self.levels[level]
+        if level > 0:
+            self._fill_from_coarser(level)
+        domain = self.level_domain(level)
+        moved = spec.data.exchange(periodic_domain=domain if self.periodic else None)
+        if not self.periodic:
+            spec.data.fill_physical(domain, mode="edge")
+        return moved
+
+    def _fill_from_coarser(self, level: int, include_interior: bool = False) -> None:
+        """Prolong coarse data over each fine box's grown region.
+
+        With ``include_interior`` (used when regridding creates new fine
+        boxes) the interpolation covers the valid cells too; during
+        ordinary ghost fills the interior is preserved.
+        """
+        fine = self.levels[level]
+        coarse = self.levels[level - 1]
+        r = self.ref_ratio
+        g = fine.data.nghost
+        level_domain = self.level_domain(level)
+        del coarse
+        for i, box in enumerate(fine.layout):
+            grown = box.grow(g)
+            # Work in coarse index space, padded one cell for slopes.
+            coarse_region = grown.coarsen(r).grow(1)
+            dense = self._dense_coarse(level - 1, coarse_region)
+            interp = prolong(dense, r, order=1)
+            fine_region = coarse_region.refine(r)
+            # Copy the part overlapping the grown fine box -- ghosts only:
+            # the box's own valid interior must never be clobbered by
+            # interpolated coarse data (same-level exchange later refreshes
+            # ghosts that other fine boxes cover with their valid data).
+            interior = None if include_interior else fine.data.valid_view(i).copy()
+            target = grown if self.periodic else grown.intersect(level_domain)
+            copy_region = target.intersect(fine_region)
+            src_slc = copy_region.slices(origin=fine_region)
+            dst_slc = copy_region.slices(origin=grown)
+            fine.data.data[i][(slice(None), *dst_slc)] = interp[(slice(None), *src_slc)]
+            if interior is not None:
+                fine.data.valid_view(i)[...] = interior
+
+    def _dense_coarse(self, level: int, region: Box) -> np.ndarray:
+        """Dense data of ``level`` over ``region``.
+
+        Cells outside the level's domain are filled by periodic wrapping
+        (periodic hierarchies) or edge extension (non-periodic), so slope
+        computation in :func:`prolong` never sees garbage.
+        """
+        coarse = self.levels[level]
+        domain = self.level_domain(level)
+        if domain.contains_box(region):
+            return coarse.data.to_dense(region, fill=0.0)
+        if self.periodic:
+            # Assemble from shifted images of the domain.
+            out = np.zeros((self.ncomp, *region.shape))
+            extents = domain.shape
+            offsets = [(-e, 0, e) for e in extents]
+            grid = np.stack(np.meshgrid(*offsets, indexing="ij"), -1).reshape(-1, len(extents))
+            for shift in grid:
+                shift = tuple(int(v) for v in shift)
+                image = domain.shift(shift)
+                overlap = region.intersect(image)
+                if overlap.is_empty():
+                    continue
+                src = coarse.data.to_dense(
+                    overlap.shift(tuple(-s for s in shift)), fill=0.0
+                )
+                out[(slice(None), *overlap.slices(origin=region))] = src
+            return out
+        # Non-periodic: dense over the clipped region, edge-padded outward.
+        clipped = region.intersect(domain)
+        inner = coarse.data.to_dense(clipped, fill=0.0)
+        pad = [(0, 0)]
+        for d in range(len(region.shape)):
+            pad.append((clipped.lo[d] - region.lo[d], region.hi[d] - clipped.hi[d]))
+        return np.pad(inner, pad, mode="edge")
+
+    def average_down(self) -> None:
+        """Restrict every fine level onto the coarser one beneath it."""
+        for level in range(self.finest_level, 0, -1):
+            self.average_down_pair(level)
+
+    def average_down_pair(self, fine_level: int) -> None:
+        """Restrict level ``fine_level`` onto level ``fine_level - 1``."""
+        if not (1 <= fine_level <= self.finest_level):
+            raise HierarchyError(
+                f"no level pair ({fine_level - 1}, {fine_level}) to restrict"
+            )
+        r = self.ref_ratio
+        fine = self.levels[fine_level]
+        coarse = self.levels[fine_level - 1]
+        for i, fbox in enumerate(fine.layout):
+            cbox = fbox.coarsen(r)
+            fine_view = fine.data.valid_view(i)
+            averaged = restrict(fine_view, r)
+            # Scatter into the coarse boxes it overlaps.
+            for j, cb in enumerate(coarse.layout):
+                overlap = cbox.intersect(cb)
+                if overlap.is_empty():
+                    continue
+                dst_slc = overlap.slices(origin=coarse.data.grown_box(j))
+                src_slc = overlap.slices(origin=cbox)
+                coarse.data.data[j][(slice(None), *dst_slc)] = averaged[
+                    (slice(None), *src_slc)
+                ]
+
+    # -- regridding ------------------------------------------------------------
+
+    def regrid(self, tag_masks: dict[int, np.ndarray]) -> bool:
+        """Rebuild levels 1..max from tag masks; returns True if grids changed.
+
+        ``tag_masks[l]`` is a boolean array over the full ``level_domain(l)``
+        shape marking cells of level ``l`` that need refinement.  Levels
+        whose parent produces no tags are dropped.  Data on surviving
+        regions is preserved; newly refined regions are interpolated from
+        the (new) coarser level.
+        """
+        new_boxes: dict[int, list[Box]] = {}
+        # Finest possible parent first so nesting tags propagate downward.
+        for parent in range(self.max_levels - 2, -1, -1):
+            if parent > self.finest_level:
+                continue
+            mask = tag_masks.get(parent)
+            domain = self.level_domain(parent)
+            if mask is None:
+                mask = np.zeros(domain.shape, dtype=bool)
+            else:
+                mask = np.asarray(mask, dtype=bool)
+                if mask.shape != domain.shape:
+                    raise HierarchyError(
+                        f"tag mask for level {parent} has shape {mask.shape}, "
+                        f"expected {domain.shape}"
+                    )
+                mask = mask.copy()
+            mask = buffer_tags(mask, self.tag_buffer)
+            # Proper nesting: the new level parent+2 must sit inside the new
+            # level parent+1, so project its boxes (grown by one coarse cell)
+            # into the parent's tags.
+            zero_domain = domain.shift(tuple(-l for l in domain.lo))
+            for gbox in new_boxes.get(parent + 2, []):
+                proj = gbox.coarsen(self.ref_ratio**2).grow(1).intersect(domain)
+                if not proj.is_empty():
+                    proj0 = proj.shift(tuple(-l for l in domain.lo))
+                    mask[proj0.slices(origin=zero_domain)] = True
+            clusters = cluster_tags(
+                mask,
+                fill_ratio=self.fill_ratio,
+                max_box_size=max(2, self.max_box_size // self.ref_ratio),
+                origin=domain.lo,
+            )
+            fine = []
+            for cbox in clusters:
+                fine.extend(cbox.refine(self.ref_ratio).chop(self.max_box_size))
+            if fine:
+                new_boxes[parent + 1] = fine
+
+        return self._apply_regrid(new_boxes)
+
+    def _apply_regrid(self, new_boxes: dict[int, list[Box]]) -> bool:
+        old_levels = self.levels
+        changed = False
+        rebuilt: list[LevelSpec] = [old_levels[0]]
+        for level in range(1, self.max_levels):
+            boxes = new_boxes.get(level)
+            if not boxes:
+                changed = changed or level <= len(old_levels) - 1
+                break
+            layout = BoxLayout(boxes, nranks=self.nranks)
+            if (level <= len(old_levels) - 1
+                    and set(layout.boxes) == set(old_levels[level].layout.boxes)):
+                rebuilt.append(old_levels[level])
+                continue
+            changed = True
+            data = LevelData(layout, self.ncomp, self.nghost, self.dtype)
+            spec = LevelSpec(layout, data)
+            rebuilt.append(spec)
+            # Interpolate from the (already rebuilt) coarser level, then
+            # keep old fine data where regions survived.
+            self.levels = rebuilt  # so _fill_from_coarser sees new stack
+            self._fill_from_coarser(level, include_interior=True)
+            if level <= len(old_levels) - 1:
+                data.copy_overlap_from(old_levels[level].data)
+        self.levels = rebuilt
+        return changed

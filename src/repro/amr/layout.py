@@ -1,0 +1,197 @@
+"""Distributed box layouts (Chombo's ``DisjointBoxLayout``).
+
+A :class:`BoxLayout` is an ordered collection of pairwise-disjoint boxes on
+one AMR level together with a rank assignment.  The default assignment is
+Chombo's load-balancing heuristic: boxes sorted by descending cell count
+are placed greedily on the least-loaded rank, which keeps per-rank load
+within one max-box of optimal.
+
+The *rank* here is a virtual MPI rank: the workload-capture layer
+(:mod:`repro.workload.capture`) uses it to record per-rank data volumes
+and memory for the staging experiments.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.amr.box import Box
+from repro.errors import GeometryError
+
+__all__ = ["BoxLayout", "load_balance"]
+
+
+def load_balance(boxes: Sequence[Box], nranks: int) -> list[int]:
+    """Greedy longest-processing-time assignment of boxes to ranks.
+
+    Returns ``rank[i]`` for each box, minimizing (approximately) the
+    maximum per-rank cell count.  Deterministic: ties broken by rank id.
+    """
+    if nranks < 1:
+        raise GeometryError(f"need at least one rank, got {nranks}")
+    assignment = [0] * len(boxes)
+    # Heap of (load, rank); heapq tie-breaks on rank id, giving determinism.
+    heap: list[tuple[int, int]] = [(0, r) for r in range(nranks)]
+    heapq.heapify(heap)
+    order = sorted(range(len(boxes)), key=lambda i: (-boxes[i].size, i))
+    for i in order:
+        load, rank = heapq.heappop(heap)
+        assignment[i] = rank
+        heapq.heappush(heap, (load + boxes[i].size, rank))
+    return assignment
+
+
+class BoxLayout:
+    """Pairwise-disjoint boxes plus their rank assignment.
+
+    Parameters
+    ----------
+    boxes:
+        The level's patches.  Disjointness is verified (O(n^2) with a
+        cheap bounding-box prefilter; layouts are typically small).
+    nranks:
+        Number of virtual ranks to balance over.
+    ranks:
+        Explicit assignment overriding the load balancer (for tests).
+    """
+
+    def __init__(
+        self,
+        boxes: Sequence[Box],
+        nranks: int = 1,
+        ranks: Sequence[int] | None = None,
+    ):
+        self.boxes: tuple[Box, ...] = tuple(boxes)
+        if not self.boxes:
+            raise GeometryError("layout needs at least one box")
+        ndim = self.boxes[0].ndim
+        for box in self.boxes:
+            if box.ndim != ndim:
+                raise GeometryError("mixed dimensions in layout")
+            if box.is_empty():
+                raise GeometryError(f"empty box in layout: {box}")
+        self._verify_disjoint()
+        self.nranks = int(nranks)
+        if ranks is not None:
+            if len(ranks) != len(self.boxes):
+                raise GeometryError("ranks length must match boxes length")
+            if any(not (0 <= r < nranks) for r in ranks):
+                raise GeometryError("rank assignment out of range")
+            self.ranks = tuple(int(r) for r in ranks)
+        else:
+            self.ranks = tuple(load_balance(self.boxes, nranks))
+
+    def _corner_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """Cached (n, ndim) arrays of box corners for vectorized queries."""
+        los = getattr(self, "_los", None)
+        if los is None:
+            self._los = np.array([b.lo for b in self.boxes], dtype=np.int64)
+            self._his = np.array([b.hi for b in self.boxes], dtype=np.int64)
+        return self._los, self._his
+
+    def _verify_disjoint(self) -> None:
+        los, his = self._corner_arrays()
+        # Pairwise overlap test, vectorized: boxes i, j overlap iff
+        # lo_i <= hi_j and lo_j <= hi_i in every direction.
+        overlap = (
+            (los[:, None, :] <= his[None, :, :])
+            & (los[None, :, :] <= his[:, None, :])
+        ).all(axis=2)
+        np.fill_diagonal(overlap, False)
+        if overlap.any():
+            i, j = np.argwhere(overlap)[0]
+            raise GeometryError(
+                f"layout boxes overlap: {self.boxes[i]} and {self.boxes[j]}"
+            )
+
+    # -- queries ------------------------------------------------------------
+
+    @property
+    def ndim(self) -> int:
+        """Spatial dimension of the layout."""
+        return self.boxes[0].ndim
+
+    def __len__(self) -> int:
+        return len(self.boxes)
+
+    def __iter__(self) -> Iterator[Box]:
+        return iter(self.boxes)
+
+    @property
+    def total_cells(self) -> int:
+        """Sum of cells across all boxes."""
+        return sum(box.size for box in self.boxes)
+
+    def cells_per_rank(self) -> np.ndarray:
+        """Cell count owned by each rank (length ``nranks``)."""
+        counts = np.zeros(self.nranks, dtype=np.int64)
+        for box, rank in zip(self.boxes, self.ranks):
+            counts[rank] += box.size
+        return counts
+
+    def boxes_on_rank(self, rank: int) -> list[int]:
+        """Indices of boxes assigned to ``rank``."""
+        return [i for i, r in enumerate(self.ranks) if r == rank]
+
+    def imbalance(self) -> float:
+        """max/mean per-rank cell load (1.0 = perfectly balanced)."""
+        counts = self.cells_per_rank()
+        mean = counts.mean()
+        if mean == 0:
+            return 1.0
+        return float(counts.max() / mean)
+
+    def covering_box(self) -> Box:
+        """The smallest box containing every layout box."""
+        lo = tuple(min(b.lo[d] for b in self.boxes) for d in range(self.ndim))
+        hi = tuple(max(b.hi[d] for b in self.boxes) for d in range(self.ndim))
+        return Box(lo, hi)
+
+    def neighbors(self, index: int, radius: int = 1, periodic_domain: Box | None = None
+                  ) -> list[tuple[int, tuple[int, ...]]]:
+        """Boxes whose data a ghost region of ``radius`` around box ``index`` needs.
+
+        Returns ``(other_index, shift)`` pairs where ``shift`` is the
+        periodic image offset (all zeros for a direct neighbour).  With a
+        ``periodic_domain``, images shifted by full domain extents are
+        considered in every direction.
+
+        Layouts are immutable, so results are cached: ghost exchange runs
+        every time step but the neighbour graph only changes at regrids.
+        """
+        cache_key = (index, radius, periodic_domain)
+        cache = getattr(self, "_neighbor_cache", None)
+        if cache is None:
+            cache = {}
+            self._neighbor_cache = cache
+        cached = cache.get(cache_key)
+        if cached is not None:
+            return cached
+        me = self.boxes[index].grow(radius)
+        me_lo = np.array(me.lo, dtype=np.int64)
+        me_hi = np.array(me.hi, dtype=np.int64)
+        zero = tuple(0 for _ in range(self.ndim))
+        shifts: list[tuple[int, ...]] = [zero]
+        if periodic_domain is not None and not periodic_domain.contains_box(me):
+            # Wrap-around images only matter when the grown box spills
+            # past the domain boundary.
+            extents = periodic_domain.shape
+            offsets: list[Sequence[int]] = [(-e, 0, e) for e in extents]
+            grid = np.stack(np.meshgrid(*offsets, indexing="ij"), -1)
+            shifts = [tuple(int(v) for v in s) for s in grid.reshape(-1, self.ndim)]
+        los, his = self._corner_arrays()
+        results: list[tuple[int, tuple[int, ...]]] = []
+        for shift in shifts:
+            offset = np.array(shift, dtype=np.int64)
+            mask = (
+                ((los + offset) <= me_hi) & ((his + offset) >= me_lo)
+            ).all(axis=1)
+            for j in np.nonzero(mask)[0]:
+                if j == index and shift == zero:
+                    continue
+                results.append((int(j), shift))
+        cache[cache_key] = results
+        return results

@@ -1,0 +1,146 @@
+"""Exact Riemann solver for the 1-D Euler equations (validation reference).
+
+Used by the test suite to validate the Godunov gas solver against the
+analytic solution of shock-tube problems (Toro, "Riemann Solvers and
+Numerical Methods for Fluid Dynamics", Ch. 4): Newton iteration for the
+star-region pressure, then full wave-structure sampling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import GeometryError
+
+__all__ = ["RiemannState", "exact_riemann", "sample_riemann"]
+
+
+@dataclass(frozen=True)
+class RiemannState:
+    """Primitive state on one side of the discontinuity."""
+
+    rho: float
+    u: float
+    p: float
+
+    def __post_init__(self) -> None:
+        if self.rho <= 0 or self.p <= 0:
+            raise GeometryError(f"need positive rho and p, got {self}")
+
+    def sound_speed(self, gamma: float) -> float:
+        return float(np.sqrt(gamma * self.p / self.rho))
+
+
+def _pressure_function(p: float, state: RiemannState, gamma: float
+                       ) -> tuple[float, float]:
+    """Toro's f_K(p) and its derivative for one side."""
+    a = state.sound_speed(gamma)
+    if p > state.p:
+        # Shock branch.
+        A = 2.0 / ((gamma + 1.0) * state.rho)
+        B = (gamma - 1.0) / (gamma + 1.0) * state.p
+        sqrt_term = np.sqrt(A / (p + B))
+        f = (p - state.p) * sqrt_term
+        df = sqrt_term * (1.0 - (p - state.p) / (2.0 * (p + B)))
+    else:
+        # Rarefaction branch.
+        exponent = (gamma - 1.0) / (2.0 * gamma)
+        f = (2.0 * a / (gamma - 1.0)) * ((p / state.p) ** exponent - 1.0)
+        df = (1.0 / (state.rho * a)) * (p / state.p) ** (-(gamma + 1.0) / (2.0 * gamma))
+    return float(f), float(df)
+
+
+def exact_riemann(left: RiemannState, right: RiemannState, gamma: float = 1.4,
+                  tol: float = 1e-12, max_iter: int = 100
+                  ) -> tuple[float, float]:
+    """Star-region pressure and velocity ``(p*, u*)`` by Newton iteration."""
+    if gamma <= 1.0:
+        raise GeometryError(f"gamma must exceed 1, got {gamma}")
+    du = right.u - left.u
+    # Vacuum check (Toro 4.40).
+    a_l, a_r = left.sound_speed(gamma), right.sound_speed(gamma)
+    if 2.0 * (a_l + a_r) / (gamma - 1.0) <= du:
+        raise GeometryError("initial states generate vacuum")
+    # Initial guess: two-rarefaction approximation, floored.
+    p = max(
+        0.5 * (left.p + right.p) - 0.125 * du * (left.rho + right.rho) * (a_l + a_r),
+        1e-8 * min(left.p, right.p),
+    )
+    for _ in range(max_iter):
+        f_l, df_l = _pressure_function(p, left, gamma)
+        f_r, df_r = _pressure_function(p, right, gamma)
+        delta = (f_l + f_r + du) / (df_l + df_r)
+        p_new = max(p - delta, 1e-14)
+        if abs(p_new - p) <= tol * max(p, p_new):
+            p = p_new
+            break
+        p = p_new
+    f_l, _ = _pressure_function(p, left, gamma)
+    f_r, _ = _pressure_function(p, right, gamma)
+    u = 0.5 * (left.u + right.u) + 0.5 * (f_r - f_l)
+    return float(p), float(u)
+
+
+def sample_riemann(
+    left: RiemannState,
+    right: RiemannState,
+    xi: np.ndarray,
+    gamma: float = 1.4,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Sample the self-similar solution at speeds ``xi = x / t``.
+
+    Returns ``(rho, u, p)`` arrays; wave structure per Toro Section 4.5.
+    """
+    xi = np.asarray(xi, dtype=np.float64)
+    p_star, u_star = exact_riemann(left, right, gamma)
+    rho = np.empty_like(xi)
+    u = np.empty_like(xi)
+    p = np.empty_like(xi)
+
+    g1 = (gamma - 1.0) / (gamma + 1.0)
+    g2 = 2.0 / (gamma + 1.0)
+
+    for i, s in enumerate(xi):
+        if s <= u_star:
+            # Left of the contact.
+            state, sign = left, 1.0
+        else:
+            state, sign = right, -1.0
+        a = state.sound_speed(gamma)
+        if p_star > state.p:
+            # Shock on this side: S = u_K -/+ a_K * sqrt(...) (left shock
+            # runs left of the data, right shock right of it).
+            ratio = p_star / state.p
+            shock_speed = state.u - sign * a * np.sqrt(
+                (gamma + 1.0) / (2.0 * gamma) * ratio
+                + (gamma - 1.0) / (2.0 * gamma)
+            )
+            behind = (s > shock_speed) if sign > 0 else (s < shock_speed)
+            if behind:
+                rho[i] = state.rho * (ratio + g1) / (g1 * ratio + 1.0)
+                u[i] = u_star
+                p[i] = p_star
+            else:
+                rho[i], u[i], p[i] = state.rho, state.u, state.p
+        else:
+            # Rarefaction on this side.
+            a_star = a * (p_star / state.p) ** ((gamma - 1.0) / (2.0 * gamma))
+            head = state.u - sign * a
+            tail = u_star - sign * a_star
+            before_head = (s < head) if sign > 0 else (s > head)
+            after_tail = (s > tail) if sign > 0 else (s < tail)
+            if before_head:
+                rho[i], u[i], p[i] = state.rho, state.u, state.p
+            elif after_tail:
+                rho[i] = state.rho * (p_star / state.p) ** (1.0 / gamma)
+                u[i] = u_star
+                p[i] = p_star
+            else:
+                # Inside the fan.
+                u[i] = g2 * (sign * a + (gamma - 1.0) / 2.0 * state.u + s)
+                a_local = sign * (u[i] - s)
+                rho[i] = state.rho * (a_local / a) ** (2.0 / (gamma - 1.0))
+                p[i] = state.p * (a_local / a) ** (2.0 * gamma / (gamma - 1.0))
+    return rho, u, p

@@ -1,0 +1,66 @@
+"""Analysis services: the workflow's in-situ/in-transit kernels.
+
+- :mod:`repro.analysis.downsample` -- spatial down-sampling operators and
+  their memory-cost model (the application-layer adaptation's actuator).
+- :mod:`repro.analysis.entropy` -- Shannon block entropy (Eq. 11) and
+  entropy-driven per-block down-sampling factors.
+- :mod:`repro.analysis.isosurface` -- 3-D isosurface extraction by
+  marching tetrahedra (the table-free variant of marching cubes; see
+  DESIGN.md for the substitution note) with watertight vertex welding.
+- :mod:`repro.analysis.marching_squares` -- 2-D isocontours.
+- :mod:`repro.analysis.statistics` -- descriptive-statistics kernel
+  (the paper's "other scalable analysis" example).
+- :mod:`repro.analysis.fidelity` -- quantitative fidelity metrics
+  replacing the paper's rendered-image comparison (Fig. 6).
+"""
+
+from repro.analysis.compression import (
+    CompressedField,
+    compress_field,
+    compression_ratio,
+    decompress_field,
+    select_tolerance,
+)
+from repro.analysis.downsample import (
+    downsample_mean,
+    downsample_stride,
+    downsample_memory_cost,
+    reduced_nbytes,
+    upsample_nearest,
+)
+from repro.analysis.entropy import (
+    block_entropies,
+    entropy_downsample_factors,
+    shannon_entropy,
+)
+from repro.analysis.isosurface import extract_isosurface, surface_area, surface_stats
+from repro.analysis.marching_squares import extract_contours, contour_length
+from repro.analysis.statistics import descriptive_statistics
+from repro.analysis.fidelity import reconstruction_error, isosurface_fidelity
+from repro.analysis.subset import BlockRangeIndex, query_range
+
+__all__ = [
+    "BlockRangeIndex",
+    "CompressedField",
+    "block_entropies",
+    "query_range",
+    "compress_field",
+    "compression_ratio",
+    "contour_length",
+    "decompress_field",
+    "select_tolerance",
+    "descriptive_statistics",
+    "downsample_mean",
+    "downsample_memory_cost",
+    "downsample_stride",
+    "entropy_downsample_factors",
+    "extract_contours",
+    "extract_isosurface",
+    "isosurface_fidelity",
+    "reconstruction_error",
+    "reduced_nbytes",
+    "shannon_entropy",
+    "surface_area",
+    "surface_stats",
+    "upsample_nearest",
+]

@@ -1,0 +1,108 @@
+"""Spatial down-sampling operators and their memory-cost model.
+
+These are the actuators of the application-layer adaptation (paper
+Section 4.1): the policy picks a factor ``X`` and the simulation reduces
+its output with ``downsample_stride`` (sample every X-th point, the
+paper's "down-sampled at every 4th grid point") or ``downsample_mean``
+(block averaging, an anti-aliased alternative).
+
+``downsample_memory_cost`` is the paper's ``Mem_data_reduce(S_data, X)``:
+performing the reduction needs the input buffer plus the reduced output
+buffer resident simultaneously.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import PolicyError
+
+__all__ = [
+    "downsample_mean",
+    "downsample_memory_cost",
+    "downsample_stride",
+    "reduced_nbytes",
+    "upsample_nearest",
+]
+
+
+def _check_factor(factor: int) -> None:
+    if factor < 1:
+        raise PolicyError(f"downsampling factor must be >= 1, got {factor}")
+
+
+def downsample_stride(field: np.ndarray, factor: int) -> np.ndarray:
+    """Keep every ``factor``-th sample along every axis (paper's method).
+
+    Works for any dimensionality; a factor of 1 returns the input
+    unchanged (same object: no copy is made for the identity case).
+    """
+    _check_factor(factor)
+    if factor == 1:
+        return field
+    return field[tuple(slice(None, None, factor) for _ in range(field.ndim))]
+
+
+def downsample_mean(field: np.ndarray, factor: int) -> np.ndarray:
+    """Block-average ``factor``-cubes; trailing remainder cells are cropped."""
+    _check_factor(factor)
+    if factor == 1:
+        return field
+    trimmed = field[tuple(slice(0, (s // factor) * factor) for s in field.shape)]
+    if trimmed.size == 0:
+        raise PolicyError(
+            f"field of shape {field.shape} too small for factor {factor}"
+        )
+    shape = []
+    for s in trimmed.shape:
+        shape.extend([s // factor, factor])
+    reshaped = trimmed.reshape(shape)
+    axes = tuple(1 + 2 * d for d in range(field.ndim))
+    return reshaped.mean(axis=axes)
+
+
+def upsample_nearest(field: np.ndarray, factor: int,
+                     target_shape: tuple[int, ...] | None = None) -> np.ndarray:
+    """Invert a stride/mean downsample by nearest-neighbour replication.
+
+    Used by the fidelity metrics to reconstruct a full-resolution proxy.
+    ``target_shape`` crops/pads (edge-replicates) to the original shape.
+    """
+    _check_factor(factor)
+    out = field
+    for axis in range(field.ndim):
+        out = np.repeat(out, factor, axis=axis)
+    if target_shape is not None:
+        if len(target_shape) != out.ndim:
+            raise PolicyError("target_shape rank mismatch")
+        pads = []
+        slices = []
+        for have, want in zip(out.shape, target_shape):
+            pads.append((0, max(0, want - have)))
+            slices.append(slice(0, want))
+        out = np.pad(out, pads, mode="edge")[tuple(slices)]
+    return out
+
+
+def reduced_nbytes(nbytes: float, factor: int, ndim: int) -> float:
+    """Size of data after down-sampling by ``factor`` in ``ndim`` dimensions."""
+    _check_factor(factor)
+    if ndim < 1:
+        raise PolicyError(f"ndim must be >= 1, got {ndim}")
+    return float(nbytes) / float(factor**ndim)
+
+
+# The reduced copy plus the analysis working buffer built from it.
+_REDUCE_BUFFERS = 2.0
+
+
+def downsample_memory_cost(nbytes: float, factor: int, ndim: int) -> float:
+    """``Mem_data_reduce(S_data, X)``: *additional* bytes the reduction needs.
+
+    The raw data is already resident as simulation state, so the extra
+    footprint is the reduced output copy plus the analysis working buffer
+    derived from it: ``2 * S_data / X^ndim``.  This is what makes the
+    paper's Figure 5 curves differ by an order of magnitude between the
+    minimum and maximum spatial resolutions.
+    """
+    return _REDUCE_BUFFERS * reduced_nbytes(nbytes, factor, ndim)

@@ -1,0 +1,112 @@
+"""Shannon entropy of data blocks (paper Eq. 11) and entropy-driven reduction.
+
+The paper's automatic application-layer adaptation computes, for every
+data block of the AMR dataset, the entropy
+
+    H(X) = - sum_x p(x) log2 p(x)
+
+of a histogram of the block's values, and down-samples blocks whose
+entropy falls below user-specified thresholds ("the right region has its
+entropy value (at 5.14) lower than the specified threshold and thus is
+down-sampled at every 4th grid point").
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.errors import PolicyError
+
+__all__ = ["block_entropies", "entropy_downsample_factors", "shannon_entropy"]
+
+
+def shannon_entropy(values: np.ndarray, bins: int = 256,
+                    value_range: tuple[float, float] | None = None) -> float:
+    """Histogram Shannon entropy of ``values`` in bits.
+
+    NaNs are ignored.  A constant (or empty) block has zero entropy.  The
+    maximum possible value is ``log2(bins)`` (8 bits for 256 bins).
+    """
+    if bins < 2:
+        raise PolicyError(f"bins must be >= 2, got {bins}")
+    flat = np.asarray(values, dtype=np.float64).ravel()
+    flat = flat[np.isfinite(flat)]
+    if flat.size == 0:
+        return 0.0
+    counts, _edges = np.histogram(flat, bins=bins, range=value_range)
+    total = counts.sum()
+    if total == 0:
+        return 0.0
+    p = counts[counts > 0] / total
+    # max() guards against -0.0 for single-bin (constant) blocks.
+    return max(0.0, float(-(p * np.log2(p)).sum()))
+
+
+def block_entropies(
+    field: np.ndarray,
+    block_shape: tuple[int, ...],
+    bins: int = 256,
+    global_range: bool = True,
+) -> np.ndarray:
+    """Entropy of each non-overlapping block of ``field``.
+
+    Returns an array with one entry per block (shape =
+    ``ceil(field.shape / block_shape)``); trailing partial blocks are
+    included.  With ``global_range`` the histogram range is shared across
+    blocks so entropies are comparable (the paper compares block
+    entropies against common thresholds).
+    """
+    if len(block_shape) != field.ndim:
+        raise PolicyError(
+            f"block_shape rank {len(block_shape)} != field rank {field.ndim}"
+        )
+    if any(b < 1 for b in block_shape):
+        raise PolicyError(f"block_shape entries must be >= 1: {block_shape}")
+    finite = field[np.isfinite(field)]
+    value_range = None
+    if global_range and finite.size:
+        lo, hi = float(finite.min()), float(finite.max())
+        if lo == hi:
+            hi = lo + 1.0
+        value_range = (lo, hi)
+    counts = tuple(-(-s // b) for s, b in zip(field.shape, block_shape))
+    out = np.zeros(counts, dtype=np.float64)
+    for idx in np.ndindex(*counts):
+        slc = tuple(
+            slice(i * b, min((i + 1) * b, s))
+            for i, b, s in zip(idx, block_shape, field.shape)
+        )
+        out[idx] = shannon_entropy(field[slc], bins=bins, value_range=value_range)
+    return out
+
+
+def entropy_downsample_factors(
+    entropies: np.ndarray,
+    thresholds: Sequence[float],
+    factors: Sequence[int],
+) -> np.ndarray:
+    """Map block entropies to per-block down-sampling factors.
+
+    ``thresholds`` must be increasing; ``factors`` has one more entry than
+    ``thresholds`` and must be decreasing (low entropy -> aggressive
+    reduction).  A block with entropy below ``thresholds[0]`` gets
+    ``factors[0]``; above ``thresholds[-1]`` it gets ``factors[-1]``
+    (typically 1, i.e. full resolution).
+    """
+    thresholds = list(thresholds)
+    factors = list(factors)
+    if len(factors) != len(thresholds) + 1:
+        raise PolicyError(
+            f"need len(factors) == len(thresholds) + 1, got "
+            f"{len(factors)} and {len(thresholds)}"
+        )
+    if any(t1 >= t2 for t1, t2 in zip(thresholds, thresholds[1:])):
+        raise PolicyError(f"thresholds must be strictly increasing: {thresholds}")
+    if any(f < 1 for f in factors):
+        raise PolicyError(f"factors must be >= 1: {factors}")
+    if any(f1 < f2 for f1, f2 in zip(factors, factors[1:])):
+        raise PolicyError(f"factors must be non-increasing: {factors}")
+    indices = np.searchsorted(np.asarray(thresholds), entropies, side="right")
+    return np.asarray(factors)[indices]

@@ -1,0 +1,251 @@
+"""3-D isosurface extraction by marching tetrahedra.
+
+The paper's visualization service runs marching cubes.  We implement the
+tetrahedral variant: each grid cube is split into six tetrahedra sharing
+the main diagonal, and every tetrahedron is polygonised against the
+isovalue.  The variant preserves all the properties the paper's placement
+arguments rely on -- strictly local per-cell work, no communication,
+output proportional to intersected cells -- while its 16-case table can
+be *derived* in code (see ``_tet_triangle_table``) instead of copied, so
+correctness is testable: the suite verifies closed surfaces, Euler
+characteristic 2 for spheres, and sphere areas within discretization
+error.
+
+Vertices are welded exactly by grid-edge identity, so the result is a
+watertight indexed mesh.
+
+``field`` holds vertex samples with shape ``(nx, ny, nz)``; cube corners
+are adjacent vertices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import PolicyError
+
+__all__ = ["SurfaceStats", "extract_isosurface", "surface_area", "surface_stats"]
+
+# Cube corner offsets, Chombo/Bourke numbering adapted to (x, y, z).
+_CORNERS = np.array(
+    [
+        (0, 0, 0),  # v0
+        (1, 0, 0),  # v1
+        (1, 1, 0),  # v2
+        (0, 1, 0),  # v3
+        (0, 0, 1),  # v4
+        (1, 0, 1),  # v5
+        (1, 1, 1),  # v6
+        (0, 1, 1),  # v7
+    ],
+    dtype=np.int64,
+)
+
+# Six tetrahedra sharing the v0-v6 diagonal.  Neighbouring cubes split
+# their shared faces along matching diagonals, making the mesh watertight.
+_TETS = np.array(
+    [
+        (0, 5, 1, 6),
+        (0, 1, 2, 6),
+        (0, 2, 3, 6),
+        (0, 3, 7, 6),
+        (0, 7, 4, 6),
+        (0, 4, 5, 6),
+    ],
+    dtype=np.int64,
+)
+
+
+def _tet_triangle_table() -> dict[int, list[tuple[tuple[int, int], ...]]]:
+    """Triangles (as triples of corner-pair edges) for each 4-bit inside mask.
+
+    Bit ``i`` of the mask set means local corner ``i`` is inside
+    (value > isovalue).  One inside corner yields one triangle; two yield
+    a quad split into two triangles; complements mirror.
+    """
+    table: dict[int, list[tuple[tuple[int, int], ...]]] = {}
+    for mask in range(16):
+        inside = [i for i in range(4) if mask >> i & 1]
+        outside = [i for i in range(4) if not mask >> i & 1]
+        tris: list[tuple[tuple[int, int], ...]] = []
+        if len(inside) == 1:
+            i = inside[0]
+            j, k, l = outside
+            tris = [((i, j), (i, k), (i, l))]
+        elif len(inside) == 3:
+            o = outside[0]
+            j, k, l = inside
+            tris = [((j, o), (k, o), (l, o))]
+        elif len(inside) == 2:
+            i, j = inside
+            k, l = outside
+            quad = ((i, k), (i, l), (j, l), (j, k))
+            tris = [(quad[0], quad[1], quad[2]), (quad[0], quad[2], quad[3])]
+        table[mask] = tris
+    return table
+
+
+_TRIANGLE_TABLE = _tet_triangle_table()
+
+
+@dataclass(frozen=True)
+class SurfaceStats:
+    """Topology/geometry summary of an extracted surface."""
+
+    n_vertices: int
+    n_edges: int
+    n_triangles: int
+    euler_characteristic: int
+    closed: bool
+    area: float
+
+
+def extract_isosurface(
+    field: np.ndarray,
+    isovalue: float,
+    spacing: tuple[float, float, float] = (1.0, 1.0, 1.0),
+    origin: tuple[float, float, float] = (0.0, 0.0, 0.0),
+) -> tuple[np.ndarray, np.ndarray]:
+    """Extract the ``isovalue`` surface of ``field``.
+
+    Returns ``(vertices, triangles)``: float ``(V, 3)`` positions and int
+    ``(T, 3)`` indices.  Triangles are oriented with normals pointing
+    from the inside (``field > isovalue``) toward the outside.  Cells
+    containing NaN samples are skipped.
+    """
+    field = np.asarray(field, dtype=np.float64)
+    if field.ndim != 3:
+        raise PolicyError(f"field must be 3-D, got shape {field.shape}")
+    if any(s < 2 for s in field.shape):
+        raise PolicyError(f"field too small for isosurfacing: {field.shape}")
+    nx, ny, nz = field.shape
+
+    flat = field.ravel()
+    # Candidate cubes: those whose corner values straddle the isovalue.
+    base = (
+        np.arange(nx - 1)[:, None, None] * (ny * nz)
+        + np.arange(ny - 1)[None, :, None] * nz
+        + np.arange(nz - 1)[None, None, :]
+    ).ravel()
+    corner_offsets = _CORNERS[:, 0] * (ny * nz) + _CORNERS[:, 1] * nz + _CORNERS[:, 2]
+    cube_vals = flat[base[:, None] + corner_offsets[None, :]]
+    finite = np.isfinite(cube_vals).all(axis=1)
+    crossing = (
+        (cube_vals > isovalue).any(axis=1) & (cube_vals <= isovalue).any(axis=1) & finite
+    )
+    base = base[crossing]
+    if base.size == 0:
+        return np.zeros((0, 3)), np.zeros((0, 3), dtype=np.int64)
+
+    # All tets of the crossing cubes: global vertex ids (T, 4).
+    tet_gids = base[:, None, None] + corner_offsets[_TETS][None, :, :]
+    tet_gids = tet_gids.reshape(-1, 4)
+    tet_vals = flat[tet_gids]
+    inside = tet_vals > isovalue
+    case = (inside * (1, 2, 4, 8)).sum(axis=1)
+
+    edge_keys: list[np.ndarray] = []  # (n, 2) sorted global-id pairs, per corner
+    tri_edge_a: list[np.ndarray] = []
+    tri_edge_b: list[np.ndarray] = []
+    flip_ref: list[np.ndarray] = []
+
+    spacing_arr = np.asarray(spacing, dtype=np.float64)
+    origin_arr = np.asarray(origin, dtype=np.float64)
+
+    def gid_to_xyz(gids: np.ndarray) -> np.ndarray:
+        x = gids // (ny * nz)
+        rem = gids % (ny * nz)
+        y = rem // nz
+        z = rem % nz
+        return np.stack([x, y, z], axis=-1).astype(np.float64)
+
+    all_pairs: list[np.ndarray] = []  # (n_tris, 3, 2) global-id edge pairs
+    all_ref: list[np.ndarray] = []  # (n_tris, 3) reference direction
+
+    for mask, templates in _TRIANGLE_TABLE.items():
+        if not templates:
+            continue
+        sel = np.nonzero(case == mask)[0]
+        if sel.size == 0:
+            continue
+        gids = tet_gids[sel]
+        ins = [i for i in range(4) if mask >> i & 1]
+        outs = [i for i in range(4) if not mask >> i & 1]
+        pos = gid_to_xyz(gids)  # (n, 4, 3)
+        ref = pos[:, outs].mean(axis=1) - pos[:, ins].mean(axis=1)
+        for tri in templates:
+            pairs = np.stack(
+                [np.stack([gids[:, a], gids[:, b]], axis=-1) for a, b in tri],
+                axis=1,
+            )  # (n, 3, 2)
+            all_pairs.append(pairs)
+            all_ref.append(ref)
+
+    pairs = np.concatenate(all_pairs, axis=0)  # (T, 3, 2)
+    refs = np.concatenate(all_ref, axis=0)  # (T, 3)
+
+    # Interpolated position per (triangle, corner).
+    va = flat[pairs[..., 0]]
+    vb = flat[pairs[..., 1]]
+    t = (isovalue - va) / (vb - va)
+    pa = gid_to_xyz(pairs[..., 0])
+    pb = gid_to_xyz(pairs[..., 1])
+    pts = pa + t[..., None] * (pb - pa)  # (T, 3, 3) in index space
+
+    # Weld vertices by (sorted) global edge key.
+    keys = np.sort(pairs.reshape(-1, 2), axis=1)
+    uniq, index = np.unique(keys, axis=0, return_inverse=True)
+    verts = np.zeros((uniq.shape[0], 3))
+    verts[index] = pts.reshape(-1, 3)  # identical per key; last write wins
+    tris = index.reshape(-1, 3)
+
+    # Drop degenerate triangles (duplicate welded vertices).
+    ok = (
+        (tris[:, 0] != tris[:, 1])
+        & (tris[:, 1] != tris[:, 2])
+        & (tris[:, 0] != tris[:, 2])
+    )
+    tris = tris[ok]
+    refs = refs[ok]
+
+    # Orient: normal must point from inside to outside.
+    p0, p1, p2 = verts[tris[:, 0]], verts[tris[:, 1]], verts[tris[:, 2]]
+    normals = np.cross(p1 - p0, p2 - p0)
+    flip = (normals * refs).sum(axis=1) < 0
+    tris[flip] = tris[flip][:, [0, 2, 1]]
+
+    verts = origin_arr + verts * spacing_arr
+    return verts, tris
+
+
+def surface_area(verts: np.ndarray, tris: np.ndarray) -> float:
+    """Total area of the triangle mesh."""
+    if len(tris) == 0:
+        return 0.0
+    p0 = verts[tris[:, 0]]
+    p1 = verts[tris[:, 1]]
+    p2 = verts[tris[:, 2]]
+    return float(0.5 * np.linalg.norm(np.cross(p1 - p0, p2 - p0), axis=1).sum())
+
+
+def surface_stats(verts: np.ndarray, tris: np.ndarray) -> SurfaceStats:
+    """Vertex/edge/face counts, Euler characteristic and closedness."""
+    if len(tris) == 0:
+        return SurfaceStats(0, 0, 0, 0, True, 0.0)
+    edges = np.concatenate([tris[:, [0, 1]], tris[:, [1, 2]], tris[:, [2, 0]]])
+    edges = np.sort(edges, axis=1)
+    uniq, counts = np.unique(edges, axis=0, return_counts=True)
+    used_vertices = np.unique(tris)
+    v = int(used_vertices.size)
+    e = int(uniq.shape[0])
+    f = int(tris.shape[0])
+    return SurfaceStats(
+        n_vertices=v,
+        n_edges=e,
+        n_triangles=f,
+        euler_characteristic=v - e + f,
+        closed=bool((counts == 2).all()),
+        area=surface_area(verts, tris),
+    )

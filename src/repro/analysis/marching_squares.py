@@ -1,0 +1,122 @@
+"""2-D isocontour extraction (marching triangles).
+
+The 2-D analogue of :mod:`repro.analysis.isosurface`: each grid cell is
+split into two triangles along a consistent diagonal and each triangle
+crossing the isovalue contributes one segment.  Segment endpoints are
+welded by grid-edge identity, so closed level sets come out as closed
+polylines (every welded vertex has degree 2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import PolicyError
+
+__all__ = ["contour_length", "contour_stats", "extract_contours"]
+
+# Two triangles per cell, diagonal v0-v2; corner order (x, y) offsets.
+_CORNERS2 = np.array([(0, 0), (1, 0), (1, 1), (0, 1)], dtype=np.int64)
+_TRIS2 = np.array([(0, 1, 2), (0, 2, 3)], dtype=np.int64)
+
+
+def extract_contours(
+    field: np.ndarray,
+    isovalue: float,
+    spacing: tuple[float, float] = (1.0, 1.0),
+    origin: tuple[float, float] = (0.0, 0.0),
+) -> tuple[np.ndarray, np.ndarray]:
+    """Extract the ``isovalue`` contour of a 2-D ``field``.
+
+    Returns ``(vertices, segments)``: float ``(V, 2)`` positions and int
+    ``(S, 2)`` indices into the vertex array.
+    """
+    field = np.asarray(field, dtype=np.float64)
+    if field.ndim != 2:
+        raise PolicyError(f"field must be 2-D, got shape {field.shape}")
+    if any(s < 2 for s in field.shape):
+        raise PolicyError(f"field too small for contouring: {field.shape}")
+    nx, ny = field.shape
+    flat = field.ravel()
+
+    base = (np.arange(nx - 1)[:, None] * ny + np.arange(ny - 1)[None, :]).ravel()
+    corner_offsets = _CORNERS2[:, 0] * ny + _CORNERS2[:, 1]
+    cell_vals = flat[base[:, None] + corner_offsets[None, :]]
+    finite = np.isfinite(cell_vals).all(axis=1)
+    crossing = (
+        (cell_vals > isovalue).any(axis=1)
+        & (cell_vals <= isovalue).any(axis=1)
+        & finite
+    )
+    base = base[crossing]
+    if base.size == 0:
+        return np.zeros((0, 2)), np.zeros((0, 2), dtype=np.int64)
+
+    tri_gids = base[:, None, None] + corner_offsets[_TRIS2][None, :, :]
+    tri_gids = tri_gids.reshape(-1, 3)
+    tri_vals = flat[tri_gids]
+    inside = tri_vals > isovalue
+    n_in = inside.sum(axis=1)
+    cut = (n_in == 1) | (n_in == 2)
+    tri_gids = tri_gids[cut]
+    inside = inside[cut]
+    n_in = n_in[cut]
+    if tri_gids.size == 0:
+        return np.zeros((0, 2)), np.zeros((0, 2), dtype=np.int64)
+
+    # The lone corner (inside for n_in==1, outside for n_in==2) defines the
+    # two cut edges.
+    lone_is_inside = n_in == 1
+    lone_mask = np.where(lone_is_inside[:, None], inside, ~inside)
+    lone_idx = np.argmax(lone_mask, axis=1)
+    others = np.array([(1, 2), (0, 2), (0, 1)])[lone_idx]
+    rows = np.arange(tri_gids.shape[0])
+    a = tri_gids[rows, lone_idx]
+    b1 = tri_gids[rows, others[:, 0]]
+    b2 = tri_gids[rows, others[:, 1]]
+    pairs = np.stack(
+        [np.stack([a, b1], axis=-1), np.stack([a, b2], axis=-1)], axis=1
+    )  # (n, 2, 2)
+
+    def gid_to_xy(gids: np.ndarray) -> np.ndarray:
+        return np.stack([gids // ny, gids % ny], axis=-1).astype(np.float64)
+
+    va = flat[pairs[..., 0]]
+    vb = flat[pairs[..., 1]]
+    t = (isovalue - va) / (vb - va)
+    pa = gid_to_xy(pairs[..., 0])
+    pb = gid_to_xy(pairs[..., 1])
+    pts = pa + t[..., None] * (pb - pa)
+
+    keys = np.sort(pairs.reshape(-1, 2), axis=1)
+    uniq, index = np.unique(keys, axis=0, return_inverse=True)
+    verts = np.zeros((uniq.shape[0], 2))
+    verts[index] = pts.reshape(-1, 2)
+    segments = index.reshape(-1, 2)
+    ok = segments[:, 0] != segments[:, 1]
+    segments = segments[ok]
+
+    verts = np.asarray(origin) + verts * np.asarray(spacing)
+    return verts, segments
+
+
+def contour_length(verts: np.ndarray, segments: np.ndarray) -> float:
+    """Total polyline length of the contour set."""
+    if len(segments) == 0:
+        return 0.0
+    d = verts[segments[:, 1]] - verts[segments[:, 0]]
+    return float(np.linalg.norm(d, axis=1).sum())
+
+
+def contour_stats(verts: np.ndarray, segments: np.ndarray) -> dict:
+    """Degree histogram and closedness of the contour set."""
+    if len(segments) == 0:
+        return {"n_vertices": 0, "n_segments": 0, "closed": True, "length": 0.0}
+    counts = np.bincount(segments.ravel(), minlength=len(verts))
+    used = counts[counts > 0]
+    return {
+        "n_vertices": int((counts > 0).sum()),
+        "n_segments": int(len(segments)),
+        "closed": bool((used == 2).all()),
+        "length": contour_length(verts, segments),
+    }

@@ -1,0 +1,101 @@
+"""Descriptive-statistics analysis kernel.
+
+The paper notes its approach "could be extensible to other scalable
+analysis approaches with no/rare communications, such as descriptive
+statistic analysis, data subsetting, etc."  This module provides that
+kernel: single-pass moments, extrema, histogram -- with a partial-result
+merge so the statistics can be computed per-block in-situ and combined
+in-transit (exactly the communication pattern the paper describes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import PolicyError
+
+__all__ = ["FieldStatistics", "descriptive_statistics", "merge_statistics"]
+
+
+@dataclass(frozen=True)
+class FieldStatistics:
+    """Single-field summary; mergeable across blocks."""
+
+    count: int
+    mean: float
+    m2: float  # sum of squared deviations (Welford)
+    minimum: float
+    maximum: float
+    histogram: np.ndarray
+    bin_edges: np.ndarray
+
+    @property
+    def variance(self) -> float:
+        """Population variance."""
+        return self.m2 / self.count if self.count else 0.0
+
+    @property
+    def std(self) -> float:
+        """Population standard deviation."""
+        return float(np.sqrt(self.variance))
+
+
+def descriptive_statistics(
+    field: np.ndarray,
+    bins: int = 64,
+    value_range: tuple[float, float] | None = None,
+) -> FieldStatistics:
+    """Summary statistics of the finite values of ``field``."""
+    if bins < 1:
+        raise PolicyError(f"bins must be >= 1, got {bins}")
+    flat = np.asarray(field, dtype=np.float64).ravel()
+    flat = flat[np.isfinite(flat)]
+    if flat.size == 0:
+        edges = np.linspace(0.0, 1.0, bins + 1)
+        return FieldStatistics(0, 0.0, 0.0, np.nan, np.nan, np.zeros(bins, int), edges)
+    if value_range is None:
+        lo, hi = float(flat.min()), float(flat.max())
+        if lo == hi:
+            hi = lo + 1.0
+        value_range = (lo, hi)
+    hist, edges = np.histogram(flat, bins=bins, range=value_range)
+    mean = float(flat.mean())
+    m2 = float(((flat - mean) ** 2).sum())
+    return FieldStatistics(
+        count=int(flat.size),
+        mean=mean,
+        m2=m2,
+        minimum=float(flat.min()),
+        maximum=float(flat.max()),
+        histogram=hist,
+        bin_edges=edges,
+    )
+
+
+def merge_statistics(a: FieldStatistics, b: FieldStatistics) -> FieldStatistics:
+    """Combine two partial summaries (Chan et al. parallel-variance merge).
+
+    Histograms must share bin edges (compute blocks with a common
+    ``value_range``), as they would in a real in-situ deployment.
+    """
+    if a.count == 0:
+        return b
+    if b.count == 0:
+        return a
+    if not np.array_equal(a.bin_edges, b.bin_edges):
+        raise PolicyError("cannot merge statistics with different bin edges")
+    n = a.count + b.count
+    delta = b.mean - a.mean
+    mean = a.mean + delta * b.count / n
+    m2 = a.m2 + b.m2 + delta * delta * a.count * b.count / n
+    return FieldStatistics(
+        count=n,
+        mean=mean,
+        m2=m2,
+        minimum=min(a.minimum, b.minimum),
+        maximum=max(a.maximum, b.maximum),
+        histogram=a.histogram + b.histogram,
+        bin_edges=a.bin_edges,
+    )

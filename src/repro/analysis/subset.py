@@ -1,0 +1,112 @@
+"""Value-range data subsetting with a block min/max index.
+
+The paper lists "data subsetting" among the communication-free analyses
+its approach extends to, and cites in-situ index building (FastBit-style)
+as related work.  This module provides both halves:
+
+- :class:`BlockRangeIndex` -- a per-block min/max summary built in one
+  pass over a field (the in-situ part: cheap, local, mergeable);
+- :func:`query_range` -- range queries that prune whole blocks through
+  the index before touching raw data (the in-transit/query part).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import PolicyError
+
+__all__ = ["BlockRangeIndex", "query_range"]
+
+
+@dataclass(frozen=True)
+class _BlockEntry:
+    slices: tuple[slice, ...]
+    minimum: float
+    maximum: float
+
+
+class BlockRangeIndex:
+    """Per-block min/max index over a dense field."""
+
+    def __init__(self, field: np.ndarray, block_shape: tuple[int, ...]):
+        if len(block_shape) != field.ndim:
+            raise PolicyError(
+                f"block_shape rank {len(block_shape)} != field rank {field.ndim}"
+            )
+        if any(b < 1 for b in block_shape):
+            raise PolicyError(f"block extents must be >= 1: {block_shape}")
+        self.field_shape = field.shape
+        self.block_shape = tuple(block_shape)
+        self._entries: list[_BlockEntry] = []
+        counts = tuple(-(-s // b) for s, b in zip(field.shape, block_shape))
+        for idx in np.ndindex(*counts):
+            slices = tuple(
+                slice(i * b, min((i + 1) * b, s))
+                for i, b, s in zip(idx, block_shape, field.shape)
+            )
+            block = field[slices]
+            finite = block[np.isfinite(block)]
+            if finite.size == 0:
+                self._entries.append(_BlockEntry(slices, np.inf, -np.inf))
+            else:
+                self._entries.append(
+                    _BlockEntry(slices, float(finite.min()), float(finite.max()))
+                )
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def nbytes(self) -> int:
+        """Approximate index size: two floats per block."""
+        return 16 * len(self._entries)
+
+    def candidate_blocks(self, lo: float, hi: float) -> list[tuple[slice, ...]]:
+        """Blocks whose [min, max] intersects [lo, hi]."""
+        if lo > hi:
+            raise PolicyError(f"empty query range [{lo}, {hi}]")
+        return [
+            e.slices for e in self._entries
+            if e.maximum >= lo and e.minimum <= hi
+        ]
+
+    def selectivity(self, lo: float, hi: float) -> float:
+        """Fraction of blocks the query must actually scan."""
+        if not self._entries:
+            return 0.0
+        return len(self.candidate_blocks(lo, hi)) / len(self._entries)
+
+
+def query_range(
+    field: np.ndarray,
+    lo: float,
+    hi: float,
+    index: BlockRangeIndex | None = None,
+) -> np.ndarray:
+    """Coordinates (``(n, ndim)`` int array) of cells with ``lo <= v <= hi``.
+
+    With an ``index``, whole blocks outside the range are pruned before
+    their cells are inspected; results are identical either way.
+    """
+    if lo > hi:
+        raise PolicyError(f"empty query range [{lo}, {hi}]")
+    if index is None:
+        mask = (field >= lo) & (field <= hi)
+        return np.argwhere(mask)
+    if index.field_shape != field.shape:
+        raise PolicyError(
+            f"index built for shape {index.field_shape}, field is {field.shape}"
+        )
+    hits: list[np.ndarray] = []
+    for slices in index.candidate_blocks(lo, hi):
+        block = field[slices]
+        local = np.argwhere((block >= lo) & (block <= hi))
+        if local.size:
+            offset = np.array([s.start for s in slices], dtype=np.int64)
+            hits.append(local + offset)
+    if not hits:
+        return np.zeros((0, field.ndim), dtype=np.int64)
+    return np.concatenate(hits, axis=0)

@@ -1,0 +1,55 @@
+"""The paper's contribution: cross-layer adaptation for coupled workflows.
+
+The conceptual architecture (paper Fig. 2) has three components, all here:
+
+- the **Monitor** (:mod:`repro.core.monitor`) samples runtime status at the
+  application, middleware and resource layers and maintains the runtime
+  estimators;
+- **Adaptation Policies** (:mod:`repro.core.policies`) decide, per layer,
+  what to change: data resolution (Eqs. 1-3), analysis placement
+  (Eqs. 4-8), staging core count (Eqs. 9-10), plus the combined
+  root-leaf cross-layer policy (Section 4.4);
+- the **Adaptation Engine** (:mod:`repro.core.engine`) selects and
+  executes policies based on user preferences/hints and the operational
+  state.
+"""
+
+from repro.core.actions import (
+    AdaptationAction,
+    PlaceAnalysis,
+    Placement,
+    SetDownsampleFactor,
+    SetStagingCores,
+)
+from repro.core.engine import AdaptationEngine
+from repro.core.estimators import RateEstimator, TransferEstimator
+from repro.core.mechanisms import Layer, Mechanism
+from repro.core.monitor import Monitor
+from repro.core.preferences import Objective, UserHints, UserPreferences
+from repro.core.state import OperationalState
+from repro.core.policies.application import ApplicationLayerPolicy
+from repro.core.policies.middleware import MiddlewarePolicy
+from repro.core.policies.resource import ResourcePolicy
+from repro.core.policies.crosslayer import CrossLayerPolicy
+
+__all__ = [
+    "AdaptationAction",
+    "AdaptationEngine",
+    "ApplicationLayerPolicy",
+    "CrossLayerPolicy",
+    "Layer",
+    "Mechanism",
+    "MiddlewarePolicy",
+    "Monitor",
+    "Objective",
+    "OperationalState",
+    "PlaceAnalysis",
+    "Placement",
+    "RateEstimator",
+    "ResourcePolicy",
+    "SetDownsampleFactor",
+    "SetStagingCores",
+    "TransferEstimator",
+    "UserHints",
+    "UserPreferences",
+]

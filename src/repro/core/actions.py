@@ -1,0 +1,83 @@
+"""Adaptation actions: the typed outputs of the policies.
+
+Each policy returns one action; the workflow driver (or any other host)
+applies it through the corresponding mechanism.  Actions are frozen value
+objects so policy decisions can be logged and replayed.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import PolicyError
+
+__all__ = ["AdaptationAction", "PlaceAnalysis", "Placement", "SetDownsampleFactor",
+           "SetStagingCores"]
+
+
+class Placement(enum.Enum):
+    """Where a step's analysis executes (the middleware decision D_i).
+
+    ``HYBRID`` is the paper's third placement option ("in-situ, in-transit
+    or hybrid (in-situ + in-transit)"): a fraction of the step's analysis
+    runs in-situ and the remainder ships to staging.  ``POST_PROCESS`` is
+    not a middleware decision -- it marks the traditional
+    write-to-disk-and-analyze-later baseline the paper's introduction
+    argues against.
+    """
+
+    IN_SITU = "in_situ"
+    IN_TRANSIT = "in_transit"
+    HYBRID = "hybrid"
+    POST_PROCESS = "post_process"
+
+
+@dataclass(frozen=True)
+class AdaptationAction:
+    """Base class; ``reason`` is a human-readable decision explanation."""
+
+    step: int
+    reason: str = ""
+
+
+@dataclass(frozen=True)
+class SetDownsampleFactor(AdaptationAction):
+    """Application layer: down-sample this step's output by ``factor``."""
+
+    factor: int = 1
+
+    def __post_init__(self) -> None:
+        if self.factor < 1:
+            raise PolicyError(f"factor must be >= 1, got {self.factor}")
+
+
+@dataclass(frozen=True)
+class PlaceAnalysis(AdaptationAction):
+    """Middleware layer: run this step's analysis at ``placement``.
+
+    ``insitu_fraction`` is meaningful for ``HYBRID``: the share of the
+    step's analysis work (and data) processed in-situ; the remainder is
+    transferred and processed in-transit.  It is 1.0 for ``IN_SITU`` and
+    0.0 for ``IN_TRANSIT`` by construction.
+    """
+
+    placement: Placement = Placement.IN_TRANSIT
+    insitu_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.insitu_fraction <= 1.0):
+            raise PolicyError(
+                f"insitu_fraction must be in [0, 1], got {self.insitu_fraction}"
+            )
+
+
+@dataclass(frozen=True)
+class SetStagingCores(AdaptationAction):
+    """Resource layer: set the active in-transit core count to ``cores``."""
+
+    cores: int = 1
+
+    def __post_init__(self) -> None:
+        if self.cores < 1:
+            raise PolicyError(f"cores must be >= 1, got {self.cores}")

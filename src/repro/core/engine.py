@@ -1,0 +1,134 @@
+"""The Adaptation Engine: selects and executes adaptation mechanisms.
+
+"The Adaptation Engine is responsible for selecting and executing
+appropriate adaptations based on user preference and hints, operational
+state provided by the monitor, and the adaptation policies."
+
+The engine supports the paper's experimental configurations:
+
+- *local* adaptation -- a single layer's policy runs (Sections 5.2.1,
+  5.2.2, 5.2.3 each evaluate one layer);
+- *global* (cross-layer) adaptation -- Section 4.4's root-leaf plan is
+  computed from the user objective, then executed leaves-to-root with the
+  intermediate state updated between mechanisms (the application layer's
+  chosen factor shrinks the S_data the resource and middleware layers
+  see).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.core.actions import (
+    AdaptationAction,
+    PlaceAnalysis,
+    Placement,
+    SetDownsampleFactor,
+    SetStagingCores,
+)
+from repro.core.mechanisms import Layer
+from repro.core.policies.application import ApplicationLayerPolicy
+from repro.core.policies.crosslayer import CrossLayerPolicy
+from repro.core.policies.middleware import MiddlewarePolicy
+from repro.core.policies.resource import ResourcePolicy
+from repro.core.preferences import UserHints, UserPreferences
+from repro.core.state import OperationalState
+from repro.errors import PolicyError
+
+__all__ = ["AdaptationDecision", "AdaptationEngine"]
+
+
+@dataclass
+class AdaptationDecision:
+    """Everything the engine decided for one step.
+
+    Unset aspects (layer not in the plan) are ``None``; the host applies
+    only what is set.
+    """
+
+    step: int
+    factor: int | None = None
+    placement: Placement | None = None
+    insitu_fraction: float = 0.0  # meaningful when placement is HYBRID
+    staging_cores: int | None = None
+    actions: list[AdaptationAction] = field(default_factory=list)
+
+
+class AdaptationEngine:
+    """Runs the adaptation plan against operational-state snapshots.
+
+    Parameters
+    ----------
+    preferences, hints:
+        The user inputs of the conceptual architecture.
+    layers:
+        Explicit layer set for *local* adaptation (e.g.
+        ``{Layer.MIDDLEWARE}``).  ``None`` selects *global* mode: the
+        cross-layer root-leaf plan derived from ``preferences.objective``.
+    """
+
+    def __init__(
+        self,
+        preferences: UserPreferences | None = None,
+        hints: UserHints | None = None,
+        layers: set[Layer] | None = None,
+        hybrid_placement: bool = False,
+    ):
+        self.preferences = preferences or UserPreferences()
+        self.hints = hints or UserHints()
+        self.application = ApplicationLayerPolicy(
+            self.hints, objective=self.preferences.objective
+        )
+        self.middleware = MiddlewarePolicy(
+            hybrid=hybrid_placement, objective=self.preferences.objective
+        )
+        self.resource = ResourcePolicy()
+        self.crosslayer = CrossLayerPolicy()
+        if layers is None:
+            self.plan = self.crosslayer.plan_layers(self.preferences.objective)
+            self.mode = "global"
+        else:
+            if not layers:
+                raise PolicyError("local adaptation needs at least one layer")
+            # Local plans keep the canonical order: application first,
+            # then resource, then middleware (data dependencies).
+            order = [Layer.APPLICATION, Layer.RESOURCE, Layer.MIDDLEWARE]
+            self.plan = [layer for layer in order if layer in layers]
+            self.mode = "local"
+        self.decisions: list[AdaptationDecision] = []
+
+    def adapt(self, state: OperationalState) -> AdaptationDecision:
+        """Execute the plan on ``state``; returns the combined decision.
+
+        Between mechanisms the working state is updated so downstream
+        mechanisms observe upstream effects: the application layer's
+        reduction shrinks data/analysis estimates, the resource layer's
+        allocation changes M and T_intransit.
+        """
+        decision = AdaptationDecision(step=state.step)
+        working = state
+        for layer in self.plan:
+            if layer is Layer.APPLICATION:
+                action = self.application.decide(working)
+                decision.factor = action.factor
+                decision.actions.append(action)
+                working = working.with_reduction(action.factor)
+            elif layer is Layer.RESOURCE:
+                action = self.resource.decide(working)
+                decision.staging_cores = action.cores
+                decision.actions.append(action)
+                working = replace(
+                    working,
+                    staging_active_cores=action.cores,
+                    est_intransit_time=working.analysis_work
+                    / (working.core_rate * action.cores),
+                )
+            elif layer is Layer.MIDDLEWARE:
+                action = self.middleware.decide(working)
+                decision.placement = action.placement
+                decision.insitu_fraction = action.insitu_fraction
+                decision.actions.append(action)
+            else:  # pragma: no cover - enum is closed
+                raise PolicyError(f"unknown layer {layer}")
+        self.decisions.append(decision)
+        return decision

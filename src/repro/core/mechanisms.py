@@ -1,0 +1,103 @@
+"""Mechanism descriptors for the cross-layer coordinator.
+
+Section 4.4's root-leaf policy reasons over *mechanisms*: each has a
+layer, its own optimization objective, and declared data inputs/outputs.
+The coordinator marks mechanisms whose objective matches the user's as
+*roots*, walks output->input edges to find *leaves*, and executes leaves
+before roots in dependency order.
+
+The three canonical mechanisms (Table/Section 4) are provided by
+:func:`standard_mechanisms`:
+
+========== ============================== ================= ==============
+layer      objective                      inputs            outputs
+========== ============================== ================= ==============
+application MAXIMIZE_DATA_RESOLUTION     memory_available   S_data
+middleware  MINIMIZE_TIME_TO_SOLUTION    S_data, M          placement
+resource    MAXIMIZE_RESOURCE_UTILIZATION S_data            M
+========== ============================== ================= ==============
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.core.preferences import Objective
+from repro.errors import PolicyError
+
+__all__ = ["Layer", "Mechanism", "standard_mechanisms"]
+
+
+class Layer(enum.Enum):
+    """The three adaptation layers of the paper."""
+
+    APPLICATION = "application"
+    MIDDLEWARE = "middleware"
+    RESOURCE = "resource"
+
+
+@dataclass(frozen=True)
+class Mechanism:
+    """One adaptation mechanism's metadata for coordination.
+
+    ``objective`` is the mechanism's primary goal; ``secondary_objectives``
+    are user objectives the mechanism also directly serves (the paper's
+    "minimizing data movement" preference is served by the reduction and
+    placement mechanisms even though neither names it as primary).
+    """
+
+    name: str
+    layer: Layer
+    objective: Objective
+    inputs: frozenset[str] = field(default_factory=frozenset)
+    outputs: frozenset[str] = field(default_factory=frozenset)
+    secondary_objectives: frozenset[Objective] = field(default_factory=frozenset)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise PolicyError("mechanism needs a name")
+        object.__setattr__(self, "inputs", frozenset(self.inputs))
+        object.__setattr__(self, "outputs", frozenset(self.outputs))
+        object.__setattr__(
+            self, "secondary_objectives", frozenset(self.secondary_objectives)
+        )
+
+    def serves(self, objective: Objective) -> bool:
+        """True when this mechanism's primary or secondary goals match."""
+        return objective is self.objective or objective in self.secondary_objectives
+
+    def feeds(self, other: "Mechanism") -> bool:
+        """True when this mechanism's outputs intersect ``other``'s inputs."""
+        return bool(self.outputs & other.inputs)
+
+
+def standard_mechanisms() -> dict[Layer, Mechanism]:
+    """The paper's three mechanisms with their data dependencies."""
+    return {
+        Layer.APPLICATION: Mechanism(
+            name="data-resolution",
+            layer=Layer.APPLICATION,
+            objective=Objective.MAXIMIZE_DATA_RESOLUTION,
+            inputs=frozenset({"memory_available"}),
+            outputs=frozenset({"S_data"}),
+            # Reducing the resolution reduces every byte later moved.
+            secondary_objectives=frozenset({Objective.MINIMIZE_DATA_MOVEMENT}),
+        ),
+        Layer.MIDDLEWARE: Mechanism(
+            name="analysis-placement",
+            layer=Layer.MIDDLEWARE,
+            objective=Objective.MINIMIZE_TIME_TO_SOLUTION,
+            inputs=frozenset({"S_data", "M"}),
+            outputs=frozenset({"placement"}),
+            # In-situ placement moves nothing at all.
+            secondary_objectives=frozenset({Objective.MINIMIZE_DATA_MOVEMENT}),
+        ),
+        Layer.RESOURCE: Mechanism(
+            name="intransit-allocation",
+            layer=Layer.RESOURCE,
+            objective=Objective.MAXIMIZE_RESOURCE_UTILIZATION,
+            inputs=frozenset({"S_data"}),
+            outputs=frozenset({"M"}),
+        ),
+    }

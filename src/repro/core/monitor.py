@@ -1,0 +1,160 @@
+"""The Monitor: runtime status capture across the three layers.
+
+"The Monitor captures runtime status information at the different layers
+(application, middleware, and resource) and uses it to characterize the
+current operational state of the system and application."  Concretely it
+
+- learns processing/transfer rates from completed work (EMA estimators,
+  seeded from machine calibration -- the role Chombo's embedded
+  performance tools play in the paper);
+- tracks recent simulation step times for the T_{i+1}_sim estimate;
+- assembles :class:`~repro.core.state.OperationalState` snapshots on its
+  sampling interval ("periodically (e.g., after every specified number of
+  simulation time steps) sampled").
+"""
+
+from __future__ import annotations
+
+from repro.core.estimators import RateEstimator, TransferEstimator
+from repro.core.state import OperationalState
+from repro.errors import PolicyError
+
+__all__ = ["Monitor"]
+
+
+class Monitor:
+    """Collects observations and produces operational-state snapshots."""
+
+    def __init__(
+        self,
+        core_rate: float,
+        network_bandwidth: float,
+        network_latency: float = 0.0,
+        interval: int = 1,
+        analysis_rate_hint: float | None = None,
+        estimate_bias: float = 1.0,
+    ):
+        if interval < 1:
+            raise PolicyError(f"interval must be >= 1, got {interval}")
+        if estimate_bias <= 0:
+            raise PolicyError(f"estimate_bias must be positive, got {estimate_bias}")
+        self.interval = int(interval)
+        rate = analysis_rate_hint if analysis_rate_hint is not None else core_rate
+        self.insitu_rate = RateEstimator(rate)
+        self.intransit_rate = RateEstimator(rate)
+        self.transfer = TransferEstimator(network_bandwidth, network_latency)
+        self._sim_time_ema: float | None = None
+        self._alpha = 0.3
+        # Systematic misestimation injector for robustness studies: every
+        # analysis-time estimate handed to the policies is multiplied by
+        # this factor (1.0 = unbiased).
+        self.estimate_bias = float(estimate_bias)
+        self.history: list[OperationalState] = []
+
+    # -- sampling cadence -----------------------------------------------------
+
+    def should_sample(self, step: int) -> bool:
+        """True when the adaptation engine should run at ``step``."""
+        return step % self.interval == 0
+
+    # -- observations ----------------------------------------------------------
+
+    def observe_sim_step(self, seconds: float) -> None:
+        """Record a completed simulation step's duration."""
+        if seconds <= 0:
+            raise PolicyError(f"step duration must be positive, got {seconds}")
+        if self._sim_time_ema is None:
+            self._sim_time_ema = seconds
+        else:
+            self._sim_time_ema = (
+                (1 - self._alpha) * self._sim_time_ema + self._alpha * seconds
+            )
+
+    def observe_insitu(self, work_units: float, cores: int, seconds: float) -> None:
+        """Record a completed in-situ analysis."""
+        self.insitu_rate.observe(work_units, cores, seconds)
+
+    def observe_intransit(self, work_units: float, cores: int, seconds: float) -> None:
+        """Record a completed in-transit analysis."""
+        self.intransit_rate.observe(work_units, cores, seconds)
+
+    def observe_transfer(self, nbytes: float, seconds: float) -> None:
+        """Record a completed staging transfer."""
+        self.transfer.observe(nbytes, seconds)
+
+    # -- estimates -------------------------------------------------------------
+
+    @property
+    def expected_sim_step_time(self) -> float:
+        """EMA of recent step times (T_{i+1}_sim); 0 before any observation."""
+        return self._sim_time_ema or 0.0
+
+    def estimate_insitu(self, work_units: float, cores: int) -> float:
+        """T_insitu(N, S_data)."""
+        return self.estimate_bias * self.insitu_rate.estimate(work_units, cores)
+
+    def estimate_intransit(self, work_units: float, cores: int) -> float:
+        """T_intransit(M, S_data)."""
+        return self.estimate_bias * self.intransit_rate.estimate(work_units, cores)
+
+    def estimate_send(self, nbytes: float) -> float:
+        """T_sd(S_data)."""
+        return self.transfer.estimate(nbytes)
+
+    # -- snapshot assembly --------------------------------------------------------
+
+    def snapshot(
+        self,
+        step: int,
+        ndim: int,
+        data_bytes: float,
+        rank_data_bytes: float,
+        rank_memory_available: float,
+        analysis_work: float,
+        sim_cores: int,
+        staging_active_cores: int,
+        staging_total_cores: int,
+        staging_memory_total: float,
+        staging_memory_used: float,
+        staging_busy: bool,
+        est_intransit_remaining: float,
+        insitu_memory_ok: bool,
+        core_rate: float,
+        steps_remaining: int | None = None,
+    ) -> OperationalState:
+        """Build (and record) the operational state for ``step``."""
+        intransit_memory_ok = (
+            staging_memory_used + data_bytes
+            <= staging_memory_total * (1 + 1e-9)
+        )
+        state = OperationalState(
+            step=step,
+            ndim=ndim,
+            core_rate=core_rate,
+            data_bytes=data_bytes,
+            rank_data_bytes=rank_data_bytes,
+            rank_memory_available=rank_memory_available,
+            analysis_work=analysis_work,
+            sim_cores=sim_cores,
+            staging_active_cores=staging_active_cores,
+            est_insitu_time=self.estimate_insitu(analysis_work, sim_cores),
+            est_intransit_time=self.estimate_intransit(
+                analysis_work, staging_active_cores
+            ),
+            est_intransit_remaining=est_intransit_remaining,
+            staging_busy=staging_busy,
+            insitu_memory_ok=insitu_memory_ok,
+            intransit_memory_ok=intransit_memory_ok,
+            staging_total_cores=staging_total_cores,
+            staging_memory_total=staging_memory_total,
+            staging_memory_used=staging_memory_used,
+            est_next_sim_time=self.expected_sim_step_time,
+            est_send_time=self.estimate_send(data_bytes),
+            est_remaining_sim_time=(
+                float("inf")
+                if steps_remaining is None
+                else steps_remaining * self.expected_sim_step_time
+            ),
+        )
+        self.history.append(state)
+        return state

@@ -1,0 +1,13 @@
+"""Per-layer adaptation policies and the cross-layer coordinator."""
+
+from repro.core.policies.application import ApplicationLayerPolicy
+from repro.core.policies.middleware import MiddlewarePolicy
+from repro.core.policies.resource import ResourcePolicy
+from repro.core.policies.crosslayer import CrossLayerPolicy
+
+__all__ = [
+    "ApplicationLayerPolicy",
+    "CrossLayerPolicy",
+    "MiddlewarePolicy",
+    "ResourcePolicy",
+]

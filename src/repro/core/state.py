@@ -1,0 +1,125 @@
+"""The operational state the Monitor hands to the Adaptation Engine.
+
+One :class:`OperationalState` snapshot per adaptation opportunity,
+carrying exactly the quantities referenced by the paper's policy
+formulations (Table 1): data sizes, per-rank memory availability,
+estimated execution/transfer times, staging occupancy, and core counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import PolicyError
+
+__all__ = ["OperationalState"]
+
+
+@dataclass(frozen=True)
+class OperationalState:
+    """Snapshot of the workflow at one time step.
+
+    Attributes map onto Table 1 of the paper:
+
+    - ``data_bytes`` -- S_data (full-resolution output of this step);
+    - ``rank_data_bytes`` -- S_data share on the most loaded rank (the
+      binding constraint for in-situ reduction);
+    - ``rank_memory_available`` -- Mem_available on that rank;
+    - ``analysis_work`` -- work units to analyse this step at full
+      resolution (scales T_insitu and T_intransit);
+    - ``est_insitu_time`` -- T_insitu(N, S_data);
+    - ``est_intransit_time`` -- T_intransit(M, S_data);
+    - ``est_intransit_remaining`` -- T_intransit_remaining (queued+running);
+    - ``est_send_time`` -- T_sd(S_data);
+    - ``est_next_sim_time`` -- T_{i+1}_sim(N);
+    - ``sim_cores``/``staging_active_cores``/``staging_total_cores`` --
+      N, M, and the static staging preallocation;
+    - ``staging_memory_total``/``staging_memory_used`` -- Eq. 10's
+      constraint inputs;
+    - ``insitu_memory_ok``/``intransit_memory_ok`` -- Eq. 8's resource
+      feasibility bits;
+    - ``staging_busy`` -- whether in-transit cores are occupied (Fig. 4).
+    """
+
+    step: int
+    ndim: int
+    core_rate: float
+
+    # Application layer
+    data_bytes: float
+    rank_data_bytes: float
+    rank_memory_available: float
+    analysis_work: float
+
+    # Middleware layer
+    sim_cores: int
+    staging_active_cores: int
+    est_insitu_time: float
+    est_intransit_time: float
+    est_intransit_remaining: float
+    staging_busy: bool
+    insitu_memory_ok: bool
+    intransit_memory_ok: bool
+
+    # Resource layer
+    staging_total_cores: int
+    staging_memory_total: float
+    staging_memory_used: float
+    est_next_sim_time: float
+    est_send_time: float
+    # Estimated simulation compute still ahead of us (steps remaining x
+    # expected step time).  Eq. 6 minimizes the max over the two pipelines:
+    # in-transit work beyond this horizon cannot be hidden and extends the
+    # end-to-end time directly.
+    est_remaining_sim_time: float = float("inf")
+
+    def __post_init__(self) -> None:
+        if self.ndim not in (1, 2, 3):
+            raise PolicyError(f"ndim must be 1, 2 or 3, got {self.ndim}")
+        if self.core_rate <= 0:
+            raise PolicyError(f"core_rate must be positive, got {self.core_rate}")
+        if self.sim_cores < 1 or self.staging_active_cores < 1:
+            raise PolicyError("core counts must be >= 1")
+        if self.staging_active_cores > self.staging_total_cores:
+            raise PolicyError(
+                f"active staging cores {self.staging_active_cores} exceed "
+                f"total {self.staging_total_cores}"
+            )
+        for attr in (
+            "data_bytes",
+            "rank_data_bytes",
+            "rank_memory_available",
+            "analysis_work",
+            "est_insitu_time",
+            "est_intransit_time",
+            "est_intransit_remaining",
+            "staging_memory_total",
+            "staging_memory_used",
+            "est_next_sim_time",
+            "est_send_time",
+            "est_remaining_sim_time",
+        ):
+            if getattr(self, attr) < 0:
+                raise PolicyError(f"{attr} must be non-negative")
+
+    def with_reduction(self, factor: int) -> "OperationalState":
+        """The state as seen after down-sampling by ``factor``.
+
+        The cross-layer execution order (application first) means the
+        resource and middleware mechanisms must observe the *reduced*
+        data size and analysis cost.  Times estimated proportionally.
+        """
+        if factor < 1:
+            raise PolicyError(f"factor must be >= 1, got {factor}")
+        if factor == 1:
+            return self
+        shrink = 1.0 / factor**self.ndim
+        return replace(
+            self,
+            data_bytes=self.data_bytes * shrink,
+            rank_data_bytes=self.rank_data_bytes * shrink,
+            analysis_work=self.analysis_work * shrink,
+            est_insitu_time=self.est_insitu_time * shrink,
+            est_intransit_time=self.est_intransit_time * shrink,
+            est_send_time=self.est_send_time * shrink,
+        )

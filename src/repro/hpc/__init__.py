@@ -1,0 +1,48 @@
+"""Simulated HPC machine substrate.
+
+This package substitutes for the leadership-class systems the paper ran on
+(Intrepid IBM BG/P and Titan Cray XK7).  It provides a deterministic
+discrete-event simulation kernel (:mod:`repro.hpc.event`), waitable
+resources (:mod:`repro.hpc.resources`), a machine model with nodes, cores
+and memory accounting (:mod:`repro.hpc.machine`), an interconnect model
+with processor-sharing bandwidth allocation (:mod:`repro.hpc.network`),
+interconnect topologies (:mod:`repro.hpc.topology`) and calibrated presets
+for the two systems used in the paper (:mod:`repro.hpc.systems`).
+"""
+
+from repro.hpc.event import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    Process,
+    Simulator,
+    Timeout,
+)
+from repro.hpc.machine import CoreAllocation, Machine, MemoryPool, Node, Partition
+from repro.hpc.network import Link, Network, Transfer
+from repro.hpc.resources import Resource, Store
+from repro.hpc.systems import SystemSpec, intrepid, titan
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "CoreAllocation",
+    "Event",
+    "Interrupt",
+    "Link",
+    "Machine",
+    "MemoryPool",
+    "Network",
+    "Node",
+    "Partition",
+    "Process",
+    "Resource",
+    "Simulator",
+    "Store",
+    "SystemSpec",
+    "Timeout",
+    "Transfer",
+    "intrepid",
+    "titan",
+]

@@ -1,0 +1,192 @@
+"""Waitable resources built on the event kernel.
+
+Two primitives cover everything the rest of the package needs:
+
+- :class:`Resource` -- a counted FCFS resource (cores, channels).  Requests
+  are events; ``release`` wakes the head of the queue.
+- :class:`Store` -- an unbounded (or bounded) FIFO of items; ``get``
+  returns an event that fires when an item is available.  This is the
+  building block for the staging request queues.
+
+Both keep simple occupancy statistics so the metrics layer can compute
+utilization without instrumenting call sites.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any
+
+from repro.errors import ResourceError
+from repro.hpc.event import Event, Simulator
+
+__all__ = ["Resource", "Store"]
+
+
+class _Request(Event):
+    """Event representing a pending resource acquisition."""
+
+    def __init__(self, resource: "Resource", amount: int):
+        super().__init__(resource.sim, name=f"request({resource.name}, {amount})")
+        self.resource = resource
+        self.amount = amount
+
+
+class Resource:
+    """A counted, FCFS resource such as a pool of cores.
+
+    ``request(n)`` returns an event that fires once ``n`` units are held by
+    the caller; ``release(n)`` returns them.  Capacity may be resized at
+    runtime (the resource-layer adaptation grows/shrinks the staging pool),
+    which immediately re-evaluates the wait queue.
+    """
+
+    def __init__(self, sim: Simulator, capacity: int, name: str = "resource"):
+        if capacity < 0:
+            raise ResourceError(f"negative capacity: {capacity}")
+        self.sim = sim
+        self.name = name
+        self._capacity = int(capacity)
+        self._in_use = 0
+        self._queue: deque[_Request] = deque()
+        # Occupancy statistics: integral of in_use over time.
+        self._busy_integral = 0.0
+        self._last_change = sim.now
+
+    @property
+    def capacity(self) -> int:
+        """Total units this resource currently offers."""
+        return self._capacity
+
+    @property
+    def in_use(self) -> int:
+        """Units currently held."""
+        return self._in_use
+
+    @property
+    def available(self) -> int:
+        """Units free right now."""
+        return self._capacity - self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting."""
+        return len(self._queue)
+
+    def _account(self) -> None:
+        now = self.sim.now
+        self._busy_integral += self._in_use * (now - self._last_change)
+        self._last_change = now
+
+    def busy_time(self) -> float:
+        """Core-seconds of held capacity accumulated so far."""
+        self._account()
+        return self._busy_integral
+
+    def request(self, amount: int = 1) -> Event:
+        """Acquire ``amount`` units; the returned event fires on acquisition."""
+        if amount <= 0:
+            raise ResourceError(f"request amount must be positive, got {amount}")
+        if amount > self._capacity:
+            raise ResourceError(
+                f"request of {amount} exceeds capacity {self._capacity} of {self.name!r}"
+            )
+        req = _Request(self, amount)
+        self._queue.append(req)
+        self._drain()
+        return req
+
+    def release(self, amount: int = 1) -> None:
+        """Return ``amount`` units and wake queued requests that now fit."""
+        if amount <= 0:
+            raise ResourceError(f"release amount must be positive, got {amount}")
+        if amount > self._in_use:
+            raise ResourceError(
+                f"release of {amount} exceeds {self._in_use} units in use on {self.name!r}"
+            )
+        self._account()
+        self._in_use -= amount
+        self._drain()
+
+    def resize(self, capacity: int) -> None:
+        """Change total capacity.  Shrinking below ``in_use`` is allowed; the
+        deficit is absorbed as units are released."""
+        if capacity < 0:
+            raise ResourceError(f"negative capacity: {capacity}")
+        self._account()
+        self._capacity = int(capacity)
+        self._drain()
+
+    def _drain(self) -> None:
+        # FCFS: stop at the first request that does not fit to preserve order.
+        while self._queue:
+            head = self._queue[0]
+            if head.triggered or head.abandoned:
+                # Waiter vanished (e.g. interrupted process); discard.
+                self._queue.popleft()
+                continue
+            if head.amount > self._capacity - self._in_use:
+                break
+            self._queue.popleft()
+            self._account()
+            self._in_use += head.amount
+            head.succeed(head.amount)
+
+
+class Store:
+    """A FIFO buffer of Python objects with waitable ``get``.
+
+    ``put`` succeeds immediately unless a ``capacity`` (in items) is set and
+    reached, in which case the returned event fires when space frees up.
+    ``get`` returns an event firing with the oldest item.
+    """
+
+    def __init__(self, sim: Simulator, capacity: int | None = None, name: str = "store"):
+        if capacity is not None and capacity <= 0:
+            raise ResourceError(f"store capacity must be positive, got {capacity}")
+        self.sim = sim
+        self.name = name
+        self.capacity = capacity
+        self._items: deque[Any] = deque()
+        self._getters: deque[Event] = deque()
+        self._putters: deque[tuple[Event, Any]] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> Event:
+        """Insert an item; the event fires when the item is accepted."""
+        event = Event(self.sim, name=f"put({self.name})")
+        self._putters.append((event, item))
+        self._drain()
+        return event
+
+    def get(self) -> Event:
+        """Remove and return (via the event value) the oldest item."""
+        event = Event(self.sim, name=f"get({self.name})")
+        self._getters.append(event)
+        self._drain()
+        return event
+
+    def _drain(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            # Move accepted puts into the buffer (abandoned puts vanish).
+            while self._putters and (self.capacity is None or len(self._items) < self.capacity):
+                event, item = self._putters.popleft()
+                if event.abandoned:
+                    progressed = True
+                    continue
+                self._items.append(item)
+                if not event.triggered:
+                    event.succeed(item)
+                progressed = True
+            # Serve waiting getters (abandoned getters must not eat items).
+            while self._getters and self._items:
+                getter = self._getters.popleft()
+                if getter.triggered or getter.abandoned:
+                    progressed = True
+                    continue
+                getter.succeed(self._items.popleft())
+                progressed = True

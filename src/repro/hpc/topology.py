@@ -1,0 +1,80 @@
+"""Interconnect topology builders.
+
+The workflow experiments use the aggregate two-partition model
+(:func:`staging_uplink`): all simulation nodes behind one endpoint, all
+staging nodes behind another, joined by a link whose capacity equals the
+aggregate injection bandwidth of the smaller partition.  This is the level
+of detail the paper's policies observe (they see transfer latencies, not
+per-hop congestion).
+
+Full 3-D torus builders are provided for topology-sensitive studies and
+are exercised by the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.errors import SimulationError
+from repro.hpc.event import Simulator
+from repro.hpc.network import Network
+
+__all__ = ["staging_uplink", "torus3d", "node_name"]
+
+
+def node_name(coords: tuple[int, int, int]) -> str:
+    """Canonical endpoint name for a torus node coordinate."""
+    return "n{}.{}.{}".format(*coords)
+
+
+def staging_uplink(
+    sim: Simulator,
+    sim_injection_bw: float,
+    staging_ingest_bw: float,
+    latency: float,
+) -> Network:
+    """Two-endpoint model: ``sim`` and ``staging`` joined by one shared link.
+
+    The link capacity is the min of the simulation partition's aggregate
+    injection bandwidth and the staging partition's aggregate ingest
+    bandwidth -- whichever side saturates first bounds in-transit sends.
+    """
+    if sim_injection_bw <= 0 or staging_ingest_bw <= 0:
+        raise SimulationError("partition bandwidths must be positive")
+    net = Network(sim)
+    net.add_link(
+        "sim",
+        "staging",
+        bandwidth=min(sim_injection_bw, staging_ingest_bw),
+        latency=latency,
+        name="uplink",
+    )
+    return net
+
+
+def torus3d(
+    sim: Simulator,
+    shape: tuple[int, int, int],
+    link_bandwidth: float,
+    link_latency: float,
+) -> Network:
+    """A wrap-around 3-D torus of ``shape`` nodes (BG/P- and Gemini-like).
+
+    Every node is an endpoint named by :func:`node_name`; each of the six
+    neighbour links is a shared-capacity :class:`~repro.hpc.network.Link`.
+    """
+    nx_, ny, nz = shape
+    if min(shape) < 1:
+        raise SimulationError(f"torus shape must be positive, got {shape}")
+    net = Network(sim)
+    for x, y, z in itertools.product(range(nx_), range(ny), range(nz)):
+        here = node_name((x, y, z))
+        for dim, size in enumerate(shape):
+            if size == 1:
+                continue  # no self-loops on degenerate dimensions
+            coords = [x, y, z]
+            coords[dim] = (coords[dim] + 1) % size
+            there = node_name(tuple(coords))
+            if not net.graph.has_edge(here, there):
+                net.add_link(here, there, bandwidth=link_bandwidth, latency=link_latency)
+    return net

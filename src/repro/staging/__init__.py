@@ -1,0 +1,32 @@
+"""DataSpaces-like staging substrate.
+
+The paper implements its adaptive runtime on top of DataSpaces, a
+distributed interaction/coordination service offering versioned,
+geometry-indexed shared objects with asynchronous put/get.  This package
+provides the equivalent over the simulated machine:
+
+- :mod:`repro.staging.objects` -- versioned, box-addressed data objects;
+- :mod:`repro.staging.index` -- the (name, version, box) query index;
+- :mod:`repro.staging.space` -- the shared-space server with memory
+  accounting (put/get/query semantics);
+- :mod:`repro.staging.area` -- the in-transit staging area: a resizable
+  pool of staging cores executing analysis jobs, with ingest transfers
+  over the simulated network and utilization accounting (Eq. 12);
+- :mod:`repro.staging.messaging` -- topic pub/sub, mirroring the
+  messaging layer of the authors' earlier work.
+"""
+
+from repro.staging.objects import DataObject
+from repro.staging.index import BoxIndex
+from repro.staging.space import DataSpace
+from repro.staging.area import AnalysisJob, StagingArea
+from repro.staging.messaging import MessageBus
+
+__all__ = [
+    "AnalysisJob",
+    "BoxIndex",
+    "DataObject",
+    "DataSpace",
+    "MessageBus",
+    "StagingArea",
+]

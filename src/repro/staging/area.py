@@ -1,0 +1,249 @@
+"""The in-transit staging area: resizable core pool executing analysis jobs.
+
+This is the execution half of the staging substrate.  Each workflow time
+step placed in-transit becomes an :class:`AnalysisJob`: its data is
+ingested over the simulated network (asynchronously -- the simulation
+does not wait), held in staging memory, and processed FIFO by the staging
+cores.  A job runs data-parallel across all *active* cores, so its
+service time is ``work_units / (core_rate * M)`` -- the paper's
+``T_intransit(M, S_data)``.
+
+The area tracks exactly what the paper's policies and metrics consume:
+
+- :meth:`estimated_remaining_time` -- ``T_intransit_remaining`` for the
+  middleware placement policy (Eq. 7);
+- busy/allocated core-second integrals -- utilization efficiency (Eq. 12);
+- per-job ingest byte counts -- total data movement (Figs. 8, 11);
+- :meth:`set_active_cores` -- the resource-layer actuator (Eq. 9-10).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.errors import StagingError
+from repro.hpc.event import Event, Simulator
+from repro.hpc.network import Network
+from repro.hpc.resources import Store
+
+__all__ = ["AnalysisJob", "StagingArea"]
+
+
+@dataclass(eq=False)
+class AnalysisJob:
+    """One in-transit analysis task (typically: one time step's data)."""
+
+    job_id: int
+    step: int
+    nbytes: float
+    work_units: float
+    submitted_at: float
+    ingest_done: Event
+    done: Event
+    started_at: float | None = None
+    finished_at: float | None = None
+    cores_used: int = 0
+
+    @property
+    def queue_delay(self) -> float | None:
+        """Time between submission and service start (None until started)."""
+        if self.started_at is None:
+            return None
+        return self.started_at - self.submitted_at
+
+
+@dataclass
+class _CoreSample:
+    """Active core count over a time interval (for Table 2)."""
+
+    start: float
+    cores: int
+
+
+class StagingArea:
+    """A pool of staging cores fed by asynchronous ingest transfers.
+
+    Parameters
+    ----------
+    sim:
+        Event simulator.
+    network:
+        The machine network; ingest transfers go ``src_endpoint ->
+        dst_endpoint``.
+    core_rate:
+        Work units per second per core (same calibration as the machine).
+    total_cores:
+        Physically allocated staging cores (the static preallocation).
+    active_cores:
+        Cores initially enabled (resource adaptation may change this).
+    memory_bytes:
+        Staging memory for in-flight step data (Eq. 10's constraint).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        core_rate: float,
+        total_cores: int,
+        active_cores: int | None = None,
+        memory_bytes: float = float("inf"),
+        src_endpoint: str = "sim",
+        dst_endpoint: str = "staging",
+    ):
+        if total_cores < 1:
+            raise StagingError(f"need at least one staging core, got {total_cores}")
+        if core_rate <= 0:
+            raise StagingError(f"core_rate must be positive, got {core_rate}")
+        self.sim = sim
+        self.network = network
+        self.core_rate = float(core_rate)
+        self.total_cores = int(total_cores)
+        self._active_cores = int(active_cores if active_cores is not None else total_cores)
+        if not (1 <= self._active_cores <= self.total_cores):
+            raise StagingError(
+                f"active cores {self._active_cores} outside [1, {total_cores}]"
+            )
+        self.memory_total = float(memory_bytes)
+        self.memory_used = 0.0
+        self.src = src_endpoint
+        self.dst = dst_endpoint
+
+        self._ids = itertools.count()
+        self._queue: Store = Store(sim, name="staging-jobs")
+        self._queued_work = 0.0
+        self._running: AnalysisJob | None = None
+        self._running_ends_at = 0.0
+        self.completed: list[AnalysisJob] = []
+        self.bytes_ingested = 0.0
+
+        # Utilization accounting (Eq. 12): integrals of busy and allocated
+        # core-seconds, plus the active-core history for Table 2.
+        self._busy_core_seconds = 0.0
+        self._alloc_last_change = sim.now
+        self._alloc_core_seconds = 0.0
+        self.core_history: list[_CoreSample] = [_CoreSample(sim.now, self._active_cores)]
+
+        self._worker = sim.process(self._serve(), name="staging-worker")
+
+    # -- resource-layer actuator ------------------------------------------------
+
+    @property
+    def active_cores(self) -> int:
+        """Cores currently enabled for analysis."""
+        return self._active_cores
+
+    def set_active_cores(self, count: int) -> None:
+        """Resize the enabled core count (takes effect for subsequent jobs)."""
+        if not (1 <= count <= self.total_cores):
+            raise StagingError(
+                f"active core count {count} outside [1, {self.total_cores}]"
+            )
+        self._account_alloc()
+        self._active_cores = int(count)
+        self.core_history.append(_CoreSample(self.sim.now, count))
+
+    def _account_alloc(self) -> None:
+        now = self.sim.now
+        self._alloc_core_seconds += self._active_cores * (now - self._alloc_last_change)
+        self._alloc_last_change = now
+
+    # -- job submission -----------------------------------------------------------
+
+    def service_time(self, work_units: float, cores: int | None = None) -> float:
+        """``T_intransit(M, S_data)``: run time of a job on ``cores`` cores."""
+        m = cores if cores is not None else self._active_cores
+        if m < 1:
+            raise StagingError(f"cores must be >= 1, got {m}")
+        return work_units / (self.core_rate * m)
+
+    def can_fit(self, nbytes: float) -> bool:
+        """Eq. 10's memory check for the next step's data."""
+        return self.memory_used + nbytes <= self.memory_total * (1 + 1e-9)
+
+    def submit(self, step: int, nbytes: float, work_units: float) -> AnalysisJob:
+        """Ingest a step's data asynchronously and queue its analysis.
+
+        Raises :class:`StagingError` if staging memory cannot hold the
+        data -- callers (the middleware policy) must check :meth:`can_fit`
+        first; the paper falls back to in-situ in that case.
+        """
+        if not self.can_fit(nbytes):
+            raise StagingError(
+                f"staging memory full: {self.memory_used:.0f} + {nbytes:.0f} "
+                f"> {self.memory_total:.0f}"
+            )
+        if work_units < 0 or nbytes < 0:
+            raise StagingError("job sizes must be non-negative")
+        self.memory_used += nbytes
+        self.bytes_ingested += nbytes
+        job = AnalysisJob(
+            job_id=next(self._ids),
+            step=step,
+            nbytes=nbytes,
+            work_units=work_units,
+            submitted_at=self.sim.now,
+            ingest_done=self.network.transfer(self.src, self.dst, nbytes),
+            done=self.sim.event(name=f"analysis(step={step})"),
+        )
+        self._queued_work += work_units
+        self._queue.put(job)
+        return job
+
+    def _serve(self):
+        while True:
+            job: AnalysisJob = yield self._queue.get()
+            # Data must have arrived before analysis can touch it.
+            yield job.ingest_done
+            self._queued_work -= job.work_units
+            cores = self._active_cores
+            duration = self.service_time(job.work_units, cores)
+            job.started_at = self.sim.now
+            job.cores_used = cores
+            self._running = job
+            self._running_ends_at = self.sim.now + duration
+            yield self.sim.timeout(duration)
+            self._busy_core_seconds += cores * duration
+            job.finished_at = self.sim.now
+            self._running = None
+            # Clamp: float residue must never drive the gauge negative.
+            self.memory_used = max(0.0, self.memory_used - job.nbytes)
+            self.completed.append(job)
+            job.done.succeed(job)
+
+    # -- state the policies observe ------------------------------------------------
+
+    @property
+    def busy(self) -> bool:
+        """True while a job is running or queued (Fig. 4's 'busy' state)."""
+        return self._running is not None or len(self._queue) > 0 or self._queued_work > 0
+
+    def estimated_remaining_time(self) -> float:
+        """``T_intransit_remaining``: time to drain running + queued work."""
+        remaining = 0.0
+        if self._running is not None:
+            remaining += max(0.0, self._running_ends_at - self.sim.now)
+        remaining += self._queued_work / (self.core_rate * self._active_cores)
+        return remaining
+
+    def utilization_efficiency(self) -> float:
+        """Eq. 12: busy core-seconds over allocated core-seconds."""
+        self._account_alloc()
+        if self._alloc_core_seconds == 0:
+            return 0.0
+        return self._busy_core_seconds / self._alloc_core_seconds
+
+    def idle_time(self) -> float:
+        """Allocated-but-idle core-seconds (the waste adaptive allocation cuts)."""
+        self._account_alloc()
+        return self._alloc_core_seconds - self._busy_core_seconds
+
+    def busy_core_seconds(self) -> float:
+        """Core-seconds spent executing analysis."""
+        return self._busy_core_seconds
+
+    def allocated_core_seconds(self) -> float:
+        """Core-seconds of active allocation so far."""
+        self._account_alloc()
+        return self._alloc_core_seconds

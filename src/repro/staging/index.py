@@ -1,0 +1,67 @@
+"""Query index for the shared space: (name, version) -> box-overlap lookup.
+
+DataSpaces resolves ``get(name, version, box)`` queries against the set of
+published objects.  The index keeps objects bucketed by name and version;
+box queries scan the bucket (buckets are per-step and small, so a scan is
+the right complexity here -- an R-tree would only pay off with thousands
+of objects per version).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.amr.box import Box
+from repro.errors import StagingError
+from repro.staging.objects import DataObject
+
+__all__ = ["BoxIndex"]
+
+
+class BoxIndex:
+    """Objects bucketed by ``(name, version)`` with box-overlap queries."""
+
+    def __init__(self):
+        self._buckets: dict[tuple[str, int], list[DataObject]] = defaultdict(list)
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._buckets.values())
+
+    def insert(self, obj: DataObject) -> None:
+        """Add an object; duplicate uids are rejected."""
+        bucket = self._buckets[(obj.name, obj.version)]
+        if any(existing.uid == obj.uid for existing in bucket):
+            raise StagingError(f"object uid {obj.uid} already indexed")
+        bucket.append(obj)
+
+    def remove(self, obj: DataObject) -> None:
+        """Remove an object previously inserted."""
+        key = (obj.name, obj.version)
+        bucket = self._buckets.get(key, [])
+        for i, existing in enumerate(bucket):
+            if existing.uid == obj.uid:
+                del bucket[i]
+                if not bucket:
+                    del self._buckets[key]
+                return
+        raise StagingError(f"object {obj.name!r} v{obj.version} not in index")
+
+    def query(self, name: str, version: int, box: Box | None = None) -> list[DataObject]:
+        """All objects of ``name``/``version`` overlapping ``box`` (or all)."""
+        bucket = self._buckets.get((name, version), [])
+        if box is None:
+            return list(bucket)
+        return [obj for obj in bucket if obj.overlaps(box)]
+
+    def versions(self, name: str) -> list[int]:
+        """Sorted versions present for ``name``."""
+        return sorted(v for (n, v) in self._buckets if n == name)
+
+    def latest_version(self, name: str) -> int | None:
+        """Highest version present for ``name``, or None."""
+        versions = self.versions(name)
+        return versions[-1] if versions else None
+
+    def drop_version(self, name: str, version: int) -> list[DataObject]:
+        """Remove and return every object of ``name``/``version``."""
+        return self._buckets.pop((name, version), [])

@@ -1,0 +1,68 @@
+"""Topic-based publish/subscribe over the shared space.
+
+Mirrors the messaging layer the authors built on DataSpaces ("a scalable
+messaging system for accelerating discovery from large scale scientific
+simulations"): subscribers register interest in a topic and receive every
+message published after their subscription, in order, as waitable events.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import StagingError
+from repro.hpc.event import Simulator
+from repro.hpc.resources import Store
+
+__all__ = ["MessageBus", "Subscription"]
+
+
+@dataclass(eq=False)
+class Subscription:
+    """One subscriber's ordered message queue."""
+
+    topic: str
+    _queue: Store
+
+    def get(self):
+        """Waitable event firing with the next message on this topic."""
+        return self._queue.get()
+
+    def pending(self) -> int:
+        """Messages delivered but not yet consumed."""
+        return len(self._queue)
+
+
+class MessageBus:
+    """Fan-out pub/sub: each message is delivered to every subscriber."""
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self._subs: dict[str, list[Subscription]] = defaultdict(list)
+        self.published: dict[str, int] = defaultdict(int)
+
+    def subscribe(self, topic: str) -> Subscription:
+        """Register a new subscriber on ``topic``."""
+        if not topic:
+            raise StagingError("topic must be non-empty")
+        sub = Subscription(topic, Store(self.sim, name=f"sub({topic})"))
+        self._subs[topic].append(sub)
+        return sub
+
+    def unsubscribe(self, sub: Subscription) -> None:
+        """Remove a subscriber; its queued messages remain readable."""
+        subs = self._subs.get(sub.topic, [])
+        try:
+            subs.remove(sub)
+        except ValueError:
+            raise StagingError(f"subscription not active on {sub.topic!r}") from None
+
+    def publish(self, topic: str, message: Any) -> int:
+        """Deliver ``message`` to all current subscribers; returns fan-out."""
+        subs = self._subs.get(topic, [])
+        for sub in subs:
+            sub._queue.put(message)
+        self.published[topic] += 1
+        return len(subs)

@@ -1,0 +1,59 @@
+"""Versioned, geometry-addressed data objects (DataSpaces' data model).
+
+A :class:`DataObject` is what a simulation publishes into the space each
+time step: a named variable, a version (the time step), the index-space
+box it covers, and the payload -- either a real NumPy array (small-scale
+runs, examples) or just a byte count (trace-driven experiments where only
+sizes matter).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.amr.box import Box
+from repro.errors import StagingError
+
+__all__ = ["DataObject"]
+
+_ids = itertools.count()
+
+
+@dataclass(frozen=True)
+class DataObject:
+    """One published object.
+
+    Exactly one of ``payload`` (real data) or ``nbytes_hint`` (size-only)
+    determines :attr:`nbytes`.
+    """
+
+    name: str
+    version: int
+    box: Box
+    payload: np.ndarray | None = None
+    nbytes_hint: float | None = None
+    uid: int = field(default_factory=lambda: next(_ids))
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise StagingError("data object needs a non-empty name")
+        if self.version < 0:
+            raise StagingError(f"negative version: {self.version}")
+        if (self.payload is None) == (self.nbytes_hint is None):
+            raise StagingError("provide exactly one of payload or nbytes_hint")
+        if self.nbytes_hint is not None and self.nbytes_hint < 0:
+            raise StagingError(f"negative size hint: {self.nbytes_hint}")
+
+    @property
+    def nbytes(self) -> float:
+        """Size in bytes (payload size or the hint)."""
+        if self.payload is not None:
+            return float(self.payload.nbytes)
+        return float(self.nbytes_hint)
+
+    def overlaps(self, box: Box) -> bool:
+        """True if the object's region intersects ``box``."""
+        return self.box.intersects(box)

@@ -1,0 +1,130 @@
+"""The shared-space server: put/get/query with memory accounting.
+
+:class:`DataSpace` is the coordination half of DataSpaces: simulations
+``put`` versioned objects, analysis services ``get`` them by name/version/
+box, possibly blocking until the version is published (the coupling
+pattern of the paper's workflows).  Memory accounting enforces the
+staging memory constraint the resource-layer policy reasons about
+(Eq. 10): a put that does not fit raises, or -- with ``evict_policy`` --
+evicts the oldest consumed versions first.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.amr.box import Box
+from repro.errors import StagingError
+from repro.hpc.event import Event, Simulator
+from repro.staging.index import BoxIndex
+from repro.staging.objects import DataObject
+
+__all__ = ["DataSpace"]
+
+
+class DataSpace:
+    """In-memory versioned object space with waitable gets.
+
+    Parameters
+    ----------
+    sim:
+        Event simulator (gets are waitable events).
+    capacity_bytes:
+        Total staging memory for payloads; ``None`` means unbounded.
+    evict_consumed:
+        When a put would overflow, evict oldest fully-consumed versions
+        (objects already retrieved at least once) to make room.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        capacity_bytes: float | None = None,
+        evict_consumed: bool = False,
+    ):
+        self.sim = sim
+        self.capacity = capacity_bytes
+        self.evict_consumed = evict_consumed
+        self.index = BoxIndex()
+        self.bytes_stored = 0.0
+        self.bytes_put_total = 0.0
+        self._consumed: set[int] = set()
+        self._waiters: dict[tuple[str, int], list[Event]] = defaultdict(list)
+
+    # -- publication ----------------------------------------------------------
+
+    def put(self, obj: DataObject) -> None:
+        """Publish an object; wakes any blocked :meth:`get_async` waiters."""
+        if self.capacity is not None and self.bytes_stored + obj.nbytes > self.capacity:
+            if self.evict_consumed:
+                self._evict(obj.nbytes)
+            if self.bytes_stored + obj.nbytes > (self.capacity or 0):
+                raise StagingError(
+                    f"space full: {self.bytes_stored:.0f} + {obj.nbytes:.0f} "
+                    f"> {self.capacity:.0f} bytes"
+                )
+        self.index.insert(obj)
+        self.bytes_stored += obj.nbytes
+        self.bytes_put_total += obj.nbytes
+        key = (obj.name, obj.version)
+        for event in self._waiters.pop(key, []):
+            if not event.triggered:
+                event.succeed(self.index.query(obj.name, obj.version))
+
+    def _evict(self, needed: float) -> None:
+        """Drop oldest consumed versions until ``needed`` bytes fit."""
+        names = {name for (name, _v) in self.index._buckets}
+        candidates: list[tuple[int, str]] = sorted(
+            (v, name) for name in names for v in self.index.versions(name)
+        )
+        for version, name in candidates:
+            if self.capacity is not None and (
+                self.bytes_stored + needed <= self.capacity
+            ):
+                return
+            objs = self.index.query(name, version)
+            if objs and all(o.uid in self._consumed for o in objs):
+                for obj in self.index.drop_version(name, version):
+                    self.bytes_stored -= obj.nbytes
+                    self._consumed.discard(obj.uid)
+
+    # -- retrieval ----------------------------------------------------------
+
+    def get(self, name: str, version: int, box: Box | None = None) -> list[DataObject]:
+        """Non-blocking query; marks returned objects consumed."""
+        results = self.index.query(name, version, box)
+        for obj in results:
+            self._consumed.add(obj.uid)
+        return results
+
+    def get_async(self, name: str, version: int) -> Event:
+        """Event firing with the objects of (name, version); immediate if present.
+
+        This is DataSpaces' blocking get: the analysis side of a coupled
+        workflow waits for the simulation to publish the next version.
+        """
+        existing = self.index.query(name, version)
+        event = self.sim.event(name=f"get({name}, v{version})")
+        if existing:
+            for obj in existing:
+                self._consumed.add(obj.uid)
+            event.succeed(existing)
+        else:
+            self._waiters[(name, version)].append(event)
+        return event
+
+    def remove_version(self, name: str, version: int) -> float:
+        """Delete a version entirely; returns bytes freed."""
+        freed = 0.0
+        for obj in self.index.drop_version(name, version):
+            freed += obj.nbytes
+            self._consumed.discard(obj.uid)
+        self.bytes_stored -= freed
+        return freed
+
+    @property
+    def available_bytes(self) -> float:
+        """Free capacity (inf when unbounded)."""
+        if self.capacity is None:
+            return float("inf")
+        return self.capacity - self.bytes_stored

@@ -1,0 +1,84 @@
+"""Unit helpers: byte/second constants, parsing and human-readable formatting.
+
+All sizes in the package are plain ``float``/``int`` bytes and all times are
+``float`` seconds; these helpers exist so configuration code reads naturally
+(``512 * MiB``) and reports render consistently.
+"""
+
+from __future__ import annotations
+
+KiB = 1024
+MiB = 1024 * KiB
+GiB = 1024 * MiB
+TiB = 1024 * GiB
+
+KB = 1000
+MB = 1000 * KB
+GB = 1000 * MB
+TB = 1000 * GB
+
+MICROSECOND = 1e-6
+MILLISECOND = 1e-3
+SECOND = 1.0
+MINUTE = 60.0
+HOUR = 3600.0
+
+_BINARY_SUFFIXES = [(TiB, "TiB"), (GiB, "GiB"), (MiB, "MiB"), (KiB, "KiB")]
+
+_SUFFIX_TO_BYTES = {
+    "b": 1,
+    "kb": KB,
+    "mb": MB,
+    "gb": GB,
+    "tb": TB,
+    "kib": KiB,
+    "mib": MiB,
+    "gib": GiB,
+    "tib": TiB,
+}
+
+
+def format_bytes(n: float) -> str:
+    """Render a byte count with a binary suffix, e.g. ``format_bytes(3 * GiB)``.
+
+    Negative values are rendered with a leading minus sign.
+    """
+    sign = "-" if n < 0 else ""
+    n = abs(float(n))
+    for factor, suffix in _BINARY_SUFFIXES:
+        if n >= factor:
+            return f"{sign}{n / factor:.2f} {suffix}"
+    return f"{sign}{n:.0f} B"
+
+
+def parse_bytes(text: str) -> float:
+    """Parse a human-readable size such as ``"512 MiB"`` or ``"2GB"`` to bytes.
+
+    Raises :class:`ValueError` on unknown suffixes or malformed numbers.
+    """
+    stripped = text.strip().lower()
+    for suffix in sorted(_SUFFIX_TO_BYTES, key=len, reverse=True):
+        if stripped.endswith(suffix):
+            number = stripped[: -len(suffix)].strip()
+            if not number:
+                raise ValueError(f"missing numeric part in size string: {text!r}")
+            return float(number) * _SUFFIX_TO_BYTES[suffix]
+    try:
+        return float(stripped)
+    except ValueError as exc:
+        raise ValueError(f"unrecognized size string: {text!r}") from exc
+
+
+def format_seconds(t: float) -> str:
+    """Render a duration: microseconds up to hours, picking a sensible unit."""
+    sign = "-" if t < 0 else ""
+    t = abs(float(t))
+    if t >= HOUR:
+        return f"{sign}{t / HOUR:.2f} h"
+    if t >= MINUTE:
+        return f"{sign}{t / MINUTE:.2f} min"
+    if t >= 1.0:
+        return f"{sign}{t:.2f} s"
+    if t >= MILLISECOND:
+        return f"{sign}{t / MILLISECOND:.2f} ms"
+    return f"{sign}{t / MICROSECOND:.2f} us"

@@ -1,0 +1,30 @@
+"""The coupled simulation + analysis workflow driver and its metrics.
+
+:class:`~repro.workflow.driver.CoupledWorkflow` replays a workload trace
+through the simulated machine under one of six execution modes (static
+in-situ, static in-transit, per-layer local adaptation, or global
+cross-layer adaptation) and produces a
+:class:`~repro.workflow.metrics.WorkflowResult` with the quantities the
+paper's evaluation reports: end-to-end time, end-to-end overhead, total
+data movement, staging utilization efficiency (Eq. 12) and per-step core
+usage (Table 2).
+"""
+
+from repro.workflow.builder import WorkflowBuilder
+from repro.workflow.config import Mode, WorkflowConfig
+from repro.workflow.driver import CoupledWorkflow, run_workflow
+from repro.workflow.metrics import StepMetrics, WorkflowResult
+from repro.workflow.report import compare, result_from_json, result_to_json
+
+__all__ = [
+    "CoupledWorkflow",
+    "Mode",
+    "StepMetrics",
+    "WorkflowBuilder",
+    "WorkflowConfig",
+    "WorkflowResult",
+    "compare",
+    "result_from_json",
+    "result_to_json",
+    "run_workflow",
+]

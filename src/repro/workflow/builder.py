@@ -1,0 +1,197 @@
+"""A declarative programming model for coupled adaptive workflows.
+
+The paper's stated future work: "designing and formalizing corresponding
+programming model for such cross-layer approach to release users'
+programming complexity."  :class:`WorkflowBuilder` is that model: a
+validating, fluent front-end over the machine/workload/adaptation knobs,
+so a user writes what they want rather than wiring configs::
+
+    result = (
+        WorkflowBuilder()
+        .on(titan(), sim_cores=2048, staging_ratio=16)
+        .synthetic_workload(steps=30, base_cells=5e8, seed=7)
+        .analysis(cost_per_cell=0.5)
+        .objective("minimize_time_to_solution")
+        .downsample_hints((1, (2, 4)), (16, (2, 4, 8, 16)))
+        .adapt("global")
+        .run()
+    )
+"""
+
+from __future__ import annotations
+
+from repro.core.mechanisms import Layer
+from repro.core.preferences import Objective, UserHints, UserPreferences
+from repro.errors import WorkflowError
+from repro.hpc.systems import SystemSpec, titan
+from repro.workflow.config import Mode, WorkflowConfig
+from repro.workflow.driver import CoupledWorkflow
+from repro.workflow.metrics import WorkflowResult
+from repro.workload.synthetic import SyntheticAMRConfig, synthetic_amr_trace
+from repro.workload.trace import WorkloadTrace
+
+__all__ = ["WorkflowBuilder"]
+
+_ADAPT_MODES = {
+    "post_processing": Mode.POST_PROCESSING,
+    "static_insitu": Mode.STATIC_INSITU,
+    "static_intransit": Mode.STATIC_INTRANSIT,
+    "application": Mode.ADAPTIVE_APPLICATION,
+    "middleware": Mode.ADAPTIVE_MIDDLEWARE,
+    "resource": Mode.ADAPTIVE_RESOURCE,
+    "global": Mode.GLOBAL,
+}
+
+
+class WorkflowBuilder:
+    """Fluent, validating construction of a coupled adaptive workflow."""
+
+    def __init__(self):
+        self._spec: SystemSpec | None = None
+        self._sim_cores: int | None = None
+        self._staging_cores: int | None = None
+        self._trace: WorkloadTrace | None = None
+        self._analysis_cost = 0.5
+        self._reduce_cost = 0.02
+        self._objective = Objective.MINIMIZE_TIME_TO_SOLUTION
+        self._hints_kwargs: dict = {}
+        self._mode: Mode | None = None
+        self._hybrid = False
+        self._estimator_bias = 1.0
+
+    # -- machine ------------------------------------------------------------
+
+    def on(
+        self,
+        spec: SystemSpec | None = None,
+        sim_cores: int = 1024,
+        staging_cores: int | None = None,
+        staging_ratio: float | None = None,
+    ) -> "WorkflowBuilder":
+        """Choose the machine: a system preset plus the partition split.
+
+        Give either ``staging_cores`` or ``staging_ratio`` (the paper uses
+        a 16:1 ratio); the default is 16:1.
+        """
+        if staging_cores is not None and staging_ratio is not None:
+            raise WorkflowError("give staging_cores or staging_ratio, not both")
+        self._spec = spec or titan()
+        self._sim_cores = int(sim_cores)
+        if staging_cores is not None:
+            self._staging_cores = int(staging_cores)
+        else:
+            ratio = staging_ratio if staging_ratio is not None else 16.0
+            if ratio <= 0:
+                raise WorkflowError(f"staging_ratio must be positive, got {ratio}")
+            self._staging_cores = max(1, int(round(sim_cores / ratio)))
+        return self
+
+    # -- workload ------------------------------------------------------------
+
+    def workload(self, trace: WorkloadTrace) -> "WorkflowBuilder":
+        """Use an existing trace (captured or synthetic)."""
+        self._trace = trace
+        return self
+
+    def synthetic_workload(self, steps: int, base_cells: float,
+                           **kwargs) -> "WorkflowBuilder":
+        """Generate a synthetic AMR workload; extra kwargs go to
+        :class:`~repro.workload.synthetic.SyntheticAMRConfig`."""
+        if self._sim_cores is None:
+            raise WorkflowError("call .on(...) before .synthetic_workload(...)")
+        kwargs.setdefault("nranks", self._sim_cores)
+        config = SyntheticAMRConfig(steps=steps, base_cells=base_cells, **kwargs)
+        self._trace = synthetic_amr_trace(config, name="builder-workload")
+        return self
+
+    # -- analysis & adaptation -----------------------------------------------
+
+    def analysis(self, cost_per_cell: float,
+                 reduce_cost_per_cell: float | None = None) -> "WorkflowBuilder":
+        """Set the visualization/analysis cost model."""
+        self._analysis_cost = float(cost_per_cell)
+        if reduce_cost_per_cell is not None:
+            self._reduce_cost = float(reduce_cost_per_cell)
+        return self
+
+    def objective(self, objective: str | Objective) -> "WorkflowBuilder":
+        """The user preference (paper Fig. 2's 'user preferences' input)."""
+        if isinstance(objective, str):
+            try:
+                objective = Objective(objective)
+            except ValueError:
+                valid = ", ".join(o.value for o in Objective)
+                raise WorkflowError(
+                    f"unknown objective {objective!r}; one of: {valid}"
+                ) from None
+        self._objective = objective
+        return self
+
+    def downsample_hints(self, *phases: tuple[int, tuple[int, ...]]
+                         ) -> "WorkflowBuilder":
+        """Acceptable down-sampling factor phases (paper Fig. 5's hints)."""
+        self._hints_kwargs["downsample_phases"] = tuple(phases)
+        return self
+
+    def monitor_every(self, steps: int) -> "WorkflowBuilder":
+        """The Monitor's sampling period in time steps."""
+        self._hints_kwargs["monitor_interval"] = int(steps)
+        return self
+
+    def adapt(self, mode: str | Mode) -> "WorkflowBuilder":
+        """Which adaptation runs: a layer name, 'global', or a static mode."""
+        if isinstance(mode, Mode):
+            self._mode = mode
+        else:
+            try:
+                self._mode = _ADAPT_MODES[mode]
+            except KeyError:
+                valid = ", ".join(sorted(_ADAPT_MODES))
+                raise WorkflowError(
+                    f"unknown adaptation mode {mode!r}; one of: {valid}"
+                ) from None
+        return self
+
+    def hybrid(self, enabled: bool = True) -> "WorkflowBuilder":
+        """Enable hybrid (in-situ + in-transit) placement splitting."""
+        self._hybrid = bool(enabled)
+        return self
+
+    def estimator_bias(self, bias: float) -> "WorkflowBuilder":
+        """Inject systematic misestimation (robustness studies)."""
+        self._estimator_bias = float(bias)
+        return self
+
+    # -- terminal operations --------------------------------------------------
+
+    def build(self) -> tuple[WorkflowConfig, WorkloadTrace]:
+        """Validate and produce the (config, trace) pair."""
+        missing = []
+        if self._spec is None or self._sim_cores is None:
+            missing.append(".on(...)")
+        if self._trace is None:
+            missing.append(".workload(...) or .synthetic_workload(...)")
+        if self._mode is None:
+            missing.append(".adapt(...)")
+        if missing:
+            raise WorkflowError(
+                "workflow underspecified; still needed: " + ", ".join(missing)
+            )
+        config = WorkflowConfig(
+            mode=self._mode,
+            sim_cores=self._sim_cores,
+            staging_cores=self._staging_cores,
+            spec=self._spec,
+            analysis_cost_per_cell=self._analysis_cost,
+            reduce_cost_per_cell=self._reduce_cost,
+            hybrid_placement=self._hybrid,
+            estimator_bias=self._estimator_bias,
+            preferences=UserPreferences(objective=self._objective),
+            hints=UserHints(**self._hints_kwargs),
+        )
+        return config, self._trace
+
+    def run(self) -> WorkflowResult:
+        """Build and execute the workflow."""
+        config, trace = self.build()
+        return CoupledWorkflow(config, trace).run()

@@ -1,0 +1,365 @@
+"""The coupled workflow driver: trace -> simulated machine -> metrics.
+
+Replays a :class:`~repro.workload.trace.WorkloadTrace` as a coupled
+simulation + visualization workflow on the simulated machine:
+
+- the *simulation pipeline* computes each step (trace-derived duration),
+  optionally reduces its output in-situ (application layer), then either
+  analyses in-situ (serializing with the simulation) or hands the data to
+  the staging area (asynchronous ingest + queued in-transit analysis);
+- the *staging pipeline* drains analysis jobs on the active staging cores.
+
+End-to-end time is when both pipelines finish (Eq. 6).  The simulation
+stalls only when staging memory cannot hold another step (the behaviour
+that makes static in-transit placement expensive under refinement bursts
+-- Fig. 4's ts=30 scenario).
+
+The Monitor samples the state each step (or per the hint interval) and
+the Adaptation Engine applies whichever layers the mode enables.
+"""
+
+from __future__ import annotations
+
+from repro.core.actions import Placement
+from repro.core.engine import AdaptationDecision, AdaptationEngine
+from repro.core.monitor import Monitor
+from repro.errors import WorkflowError
+from repro.hpc.event import Simulator
+from repro.hpc.filesystem import ParallelFileSystem
+from repro.hpc.systems import build_workflow_machine
+from repro.staging.area import AnalysisJob, StagingArea
+from repro.workflow.config import Mode, WorkflowConfig
+from repro.workflow.metrics import StepMetrics, WorkflowResult
+from repro.workload.trace import WorkloadTrace
+
+__all__ = ["CoupledWorkflow", "run_workflow"]
+
+
+class CoupledWorkflow:
+    """One workflow run; construct, then :meth:`run`."""
+
+    def __init__(self, config: WorkflowConfig, trace: WorkloadTrace):
+        if not len(trace):
+            raise WorkflowError("trace has no steps")
+        self.config = config
+        self.trace = trace
+        self.sim = Simulator()
+        self.machine, self.network = build_workflow_machine(
+            self.sim, config.spec, config.sim_cores, config.staging_cores
+        )
+        staging_partition = self.machine.partition("staging")
+        self.staging = StagingArea(
+            self.sim,
+            self.network,
+            core_rate=config.spec.core_rate,
+            total_cores=config.staging_cores,
+            active_cores=config.staging_cores,
+            memory_bytes=staging_partition.total_memory,
+        )
+        self.pfs = ParallelFileSystem(
+            self.sim,
+            self.network,
+            write_bandwidth=config.spec.pfs_write_bandwidth,
+            read_bandwidth=config.spec.pfs_read_bandwidth,
+            latency=config.spec.pfs_latency,
+        )
+        self.pfs.attach("sim")
+        self.pfs.attach("staging")
+        uplink = self.network.link_between("sim", "staging")
+        self.monitor = Monitor(
+            core_rate=config.spec.core_rate,
+            network_bandwidth=uplink.bandwidth,
+            network_latency=uplink.latency,
+            interval=config.hints.monitor_interval,
+            estimate_bias=config.estimator_bias,
+        )
+        layers = config.mode.adaptive_layers
+        if layers is None:
+            self.engine: AdaptationEngine | None = AdaptationEngine(
+                preferences=config.preferences,
+                hints=config.hints,
+                hybrid_placement=config.hybrid_placement,
+            )
+        elif layers:
+            self.engine = AdaptationEngine(
+                preferences=config.preferences,
+                hints=config.hints,
+                layers=layers,
+                hybrid_placement=config.hybrid_placement,
+            )
+        else:
+            self.engine = None
+        # Each trace rank owns one core's share of memory; when the trace
+        # has fewer ranks than cores, a rank stands for a core group.
+        self.rank_memory_capacity = (
+            config.spec.memory_per_core * config.sim_cores / trace.nranks
+        )
+        self._metrics: list[StepMetrics] = []
+        self._outstanding: list[AnalysisJob] = []
+        self._total_sim_seconds = 0.0
+        self._post_tasks: list[tuple[StepMetrics, float, float]] = []
+        self._post_busy_core_seconds = 0.0
+
+    # -- public API ---------------------------------------------------------
+
+    def run(self) -> WorkflowResult:
+        """Execute the whole trace; returns validated aggregate metrics."""
+        main = self.sim.process(self._simulation(), name="simulation")
+        self.sim.run(main)
+        energy, breakdown = self._energy()
+        result = WorkflowResult(
+            mode=self.config.mode.value,
+            steps=self._metrics,
+            end_to_end_seconds=self.sim.now,
+            total_sim_seconds=self._total_sim_seconds,
+            data_moved_bytes=self.staging.bytes_ingested,
+            utilization_efficiency=self.staging.utilization_efficiency(),
+            staging_idle_core_seconds=self.staging.idle_time(),
+            staging_total_cores=self.config.staging_cores,
+            pfs_bytes_written=self.pfs.bytes_written,
+            pfs_bytes_read=self.pfs.bytes_read,
+            energy_joules=energy,
+            energy_breakdown=breakdown,
+        )
+        result.validate()
+        return result
+
+    def _energy(self) -> tuple[float, dict[str, float]]:
+        """Energy model over the whole run (the paper's future-work topic).
+
+        Cores draw ``core_power_active`` while computing and
+        ``core_power_idle`` while allocated but idle; every byte through
+        the fabric (staging ingest + PFS traffic) costs
+        ``network_energy_per_byte``.
+        """
+        spec = self.config.spec
+        elapsed = self.sim.now
+        n = self.config.sim_cores
+        sim_busy = n * (
+            self._total_sim_seconds + sum(m.insitu_seconds for m in self._metrics)
+        )
+        sim_alloc = n * elapsed
+        staging_busy = self.staging.busy_core_seconds() + self._post_busy_core_seconds
+        staging_alloc = self.staging.allocated_core_seconds()
+        breakdown = {
+            "sim_compute": spec.core_power_active * sim_busy,
+            "sim_idle": spec.core_power_idle * max(0.0, sim_alloc - sim_busy),
+            "staging_compute": spec.core_power_active * staging_busy,
+            "staging_idle": spec.core_power_idle
+            * max(0.0, staging_alloc - staging_busy),
+            "data_movement": spec.network_energy_per_byte
+            * self.network.total_bytes_moved,
+        }
+        return sum(breakdown.values()), breakdown
+
+    # -- pipeline ------------------------------------------------------------
+
+    def _simulation(self):
+        cfg = self.config
+        rate = cfg.spec.core_rate
+        n_cores = cfg.sim_cores
+        last_decision: AdaptationDecision | None = None
+
+        total_steps = len(self.trace)
+        for index, record in enumerate(self.trace):
+            sim_seconds = record.sim_work / (rate * n_cores)
+            yield self.sim.timeout(sim_seconds)
+            self.monitor.observe_sim_step(sim_seconds)
+            self._total_sim_seconds += sim_seconds
+
+            analysis_work = (
+                record.cells * cfg.analysis_cost_per_cell * record.analysis_intensity
+            )
+            peak_share = float(record.rank_bytes.max() / record.rank_bytes.sum())
+            rank_out_bytes = record.data_bytes * peak_share
+            rank_available = max(
+                0.0, self.rank_memory_capacity - record.peak_rank_bytes
+            )
+            insitu_ok = (
+                rank_available >= rank_out_bytes * cfg.insitu_memory_factor
+            )
+
+            decision = self._decide(
+                record.step,
+                record.data_bytes,
+                rank_out_bytes,
+                rank_available,
+                analysis_work,
+                insitu_ok,
+                last_decision,
+                steps_remaining=total_steps - (index + 1),
+            )
+            last_decision = decision
+
+            factor = decision.factor or 1
+            shrink = 1.0 / factor**self.trace.ndim
+            out_bytes = record.data_bytes * shrink
+            out_work = analysis_work * shrink
+
+            insitu_seconds = 0.0
+            if factor > 1:
+                reduce_seconds = record.cells * cfg.reduce_cost_per_cell / (
+                    rate * n_cores
+                )
+                yield self.sim.timeout(reduce_seconds)
+                insitu_seconds += reduce_seconds
+
+            if decision.staging_cores is not None:
+                self.staging.set_active_cores(
+                    min(decision.staging_cores, self.staging.total_cores)
+                )
+
+            placement = decision.placement or Placement.IN_TRANSIT
+            metric = StepMetrics(
+                step=record.step,
+                sim_seconds=sim_seconds,
+                factor=factor,
+                placement=placement,
+                staging_cores=self.staging.active_cores,
+                data_bytes_full=record.data_bytes,
+                data_bytes_out=out_bytes,
+                insitu_seconds=insitu_seconds,
+                block_seconds=0.0,
+            )
+            self._metrics.append(metric)
+
+            if placement is Placement.HYBRID:
+                fraction = decision.insitu_fraction
+                insitu_work = out_work * fraction
+                analysis_seconds = insitu_work / (rate * n_cores)
+                yield self.sim.timeout(analysis_seconds)
+                metric.insitu_seconds += analysis_seconds
+                if insitu_work > 0:
+                    self.monitor.observe_insitu(insitu_work, n_cores,
+                                                analysis_seconds)
+                ship_bytes = out_bytes * (1.0 - fraction)
+                ship_work = out_work * (1.0 - fraction)
+                blocked_from = self.sim.now
+                while not self.staging.can_fit(ship_bytes):
+                    pending = [j.done for j in self._outstanding
+                               if not j.done.triggered]
+                    if not pending:
+                        raise WorkflowError(
+                            f"step {record.step}: hybrid remainder exceeds "
+                            "staging memory outright"
+                        )
+                    yield self.sim.any_of(pending)
+                metric.block_seconds = self.sim.now - blocked_from
+                job = self.staging.submit(record.step, ship_bytes, ship_work)
+                self._outstanding.append(job)
+                job.done.add_callback(
+                    lambda _evt, job=job, metric=metric: self._on_job_done(job, metric)
+                )
+            elif placement is Placement.POST_PROCESS:
+                # Traditional output: the collective write blocks the
+                # simulation; analysis happens after the run ends.
+                blocked_from = self.sim.now
+                yield self.pfs.write("sim", out_bytes)
+                metric.block_seconds = self.sim.now - blocked_from
+                self._post_tasks.append((metric, out_bytes, out_work))
+            elif placement is Placement.IN_SITU:
+                analysis_seconds = out_work / (rate * n_cores)
+                yield self.sim.timeout(analysis_seconds)
+                metric.insitu_seconds += analysis_seconds
+                metric.analysis_done_at = self.sim.now
+                self.monitor.observe_insitu(out_work, n_cores, analysis_seconds)
+            else:
+                blocked_from = self.sim.now
+                while not self.staging.can_fit(out_bytes):
+                    pending = [j.done for j in self._outstanding if not j.done.triggered]
+                    if not pending:
+                        raise WorkflowError(
+                            f"step {record.step}: {out_bytes:.0f} B exceed staging "
+                            f"memory {self.staging.memory_total:.0f} B outright"
+                        )
+                    yield self.sim.any_of(pending)
+                metric.block_seconds = self.sim.now - blocked_from
+                job = self.staging.submit(record.step, out_bytes, out_work)
+                self._outstanding.append(job)
+                job.done.add_callback(
+                    lambda _evt, job=job, metric=metric: self._on_job_done(job, metric)
+                )
+
+        # Drain: the run ends when the staging pipeline is empty too (Eq. 6).
+        pending = [j.done for j in self._outstanding if not j.done.triggered]
+        if pending:
+            yield self.sim.all_of(pending)
+
+        # Post-processing phase: read everything back and analyse it on the
+        # staging (analysis-cluster) cores, step by step.
+        m_cores = self.staging.active_cores
+        for metric, nbytes, work in self._post_tasks:
+            yield self.pfs.read("staging", nbytes)
+            analysis_seconds = work / (rate * m_cores)
+            yield self.sim.timeout(analysis_seconds)
+            self._post_busy_core_seconds += analysis_seconds * m_cores
+            metric.analysis_done_at = self.sim.now
+
+    def _decide(
+        self,
+        step: int,
+        data_bytes: float,
+        rank_out_bytes: float,
+        rank_available: float,
+        analysis_work: float,
+        insitu_ok: bool,
+        last: AdaptationDecision | None,
+        steps_remaining: int,
+    ) -> AdaptationDecision:
+        mode = self.config.mode
+        if mode is Mode.POST_PROCESSING:
+            return AdaptationDecision(step=step, placement=Placement.POST_PROCESS)
+        if mode is Mode.STATIC_INSITU:
+            return AdaptationDecision(step=step, placement=Placement.IN_SITU)
+        if mode is Mode.STATIC_INTRANSIT:
+            return AdaptationDecision(step=step, placement=Placement.IN_TRANSIT)
+        assert self.engine is not None
+        if not self.monitor.should_sample(step) and last is not None:
+            # Off-sample steps keep the previous adaptation settings.
+            return AdaptationDecision(
+                step=step,
+                factor=last.factor,
+                placement=last.placement,
+                insitu_fraction=last.insitu_fraction,
+                staging_cores=last.staging_cores,
+            )
+        state = self.monitor.snapshot(
+            step=step,
+            ndim=self.trace.ndim,
+            data_bytes=data_bytes,
+            rank_data_bytes=rank_out_bytes,
+            rank_memory_available=rank_available,
+            analysis_work=analysis_work,
+            sim_cores=self.config.sim_cores,
+            staging_active_cores=self.staging.active_cores,
+            staging_total_cores=self.staging.total_cores,
+            staging_memory_total=self.staging.memory_total,
+            staging_memory_used=self.staging.memory_used,
+            staging_busy=self.staging.busy,
+            est_intransit_remaining=self.staging.estimated_remaining_time(),
+            insitu_memory_ok=insitu_ok,
+            core_rate=self.config.spec.core_rate,
+            steps_remaining=steps_remaining,
+        )
+        decision = self.engine.adapt(state)
+        # Layers the mode leaves unset fall back to static defaults.
+        if decision.placement is None and self.config.mode in (
+            Mode.ADAPTIVE_APPLICATION,
+            Mode.ADAPTIVE_RESOURCE,
+        ):
+            decision.placement = Placement.IN_TRANSIT
+        return decision
+
+    def _on_job_done(self, job: AnalysisJob, metric: StepMetrics) -> None:
+        metric.analysis_done_at = job.finished_at
+        duration = job.finished_at - job.started_at
+        if duration > 0 and job.work_units > 0:
+            self.monitor.observe_intransit(job.work_units, job.cores_used, duration)
+        transfer = job.ingest_done.value
+        if transfer.elapsed and transfer.size > 0:
+            self.monitor.observe_transfer(transfer.size, transfer.elapsed)
+
+
+def run_workflow(config: WorkflowConfig, trace: WorkloadTrace) -> WorkflowResult:
+    """Convenience: build and run a workflow in one call."""
+    return CoupledWorkflow(config, trace).run()

@@ -1,0 +1,123 @@
+"""Workflow metrics: the quantities the paper's evaluation reports."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.actions import Placement
+from repro.errors import WorkflowError
+
+__all__ = ["StepMetrics", "WorkflowResult", "core_usage_histogram"]
+
+
+@dataclass
+class StepMetrics:
+    """Per-step record of what the workflow did."""
+
+    step: int
+    sim_seconds: float
+    factor: int
+    placement: Placement
+    staging_cores: int
+    data_bytes_full: float
+    data_bytes_out: float  # after reduction
+    insitu_seconds: float  # analysis + reduction time serialized with the sim
+    block_seconds: float  # sim stalled waiting for staging memory
+    analysis_done_at: float | None = None
+
+
+@dataclass
+class WorkflowResult:
+    """One run's aggregate outcome.
+
+    - ``end_to_end_seconds`` -- time until both the simulation loop and
+      every analysis finished (Eq. 6's max over pipelines);
+    - ``total_sim_seconds`` -- pure simulation compute (Fig. 7's
+      "End-to-end Simulation Time" component);
+    - ``overhead_seconds`` -- everything else on the critical path
+      (Fig. 7's "End-to-end Overhead");
+    - ``data_moved_bytes`` -- aggregated in-situ -> in-transit transfers
+      (Figs. 8 and 11);
+    - ``utilization_efficiency`` -- Eq. 12;
+    - ``staging_idle_core_seconds`` -- allocated-but-idle waste.
+    """
+
+    mode: str
+    steps: list[StepMetrics] = field(default_factory=list)
+    end_to_end_seconds: float = 0.0
+    total_sim_seconds: float = 0.0
+    data_moved_bytes: float = 0.0
+    utilization_efficiency: float = 0.0
+    staging_idle_core_seconds: float = 0.0
+    staging_total_cores: int = 0
+    pfs_bytes_written: float = 0.0
+    pfs_bytes_read: float = 0.0
+    energy_joules: float = 0.0
+    energy_breakdown: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def overhead_seconds(self) -> float:
+        """End-to-end time minus pure simulation time."""
+        return self.end_to_end_seconds - self.total_sim_seconds
+
+    @property
+    def overhead_fraction(self) -> float:
+        """Overhead as a fraction of pure simulation time."""
+        if self.total_sim_seconds == 0:
+            return 0.0
+        return self.overhead_seconds / self.total_sim_seconds
+
+    def placement_counts(self) -> dict[Placement, int]:
+        """Steps analysed per placement kind."""
+        counts = {placement: 0 for placement in Placement}
+        for metric in self.steps:
+            counts[metric.placement] += 1
+        return counts
+
+    def factors_used(self) -> list[int]:
+        """Per-step down-sampling factors."""
+        return [metric.factor for metric in self.steps]
+
+    def staging_cores_series(self) -> np.ndarray:
+        """Per-step active staging core counts (Fig. 9's series)."""
+        return np.array([metric.staging_cores for metric in self.steps])
+
+    def validate(self) -> None:
+        """Invariants every run must satisfy."""
+        if self.end_to_end_seconds + 1e-9 < self.total_sim_seconds:
+            raise WorkflowError("end-to-end time below pure simulation time")
+        for metric in self.steps:
+            if metric.analysis_done_at is None:
+                raise WorkflowError(f"step {metric.step} analysis never completed")
+            if metric.data_bytes_out > metric.data_bytes_full * (1 + 1e-9):
+                raise WorkflowError(f"step {metric.step} grew data under reduction")
+
+
+def core_usage_histogram(
+    result: WorkflowResult, preallocated: int | None = None
+) -> dict[str, int]:
+    """Table 2's bucketing: steps using 100% / 75% / 50% / <50% of cores.
+
+    A step falls in the highest bucket whose threshold its active-core
+    fraction reaches.
+    """
+    total = preallocated if preallocated is not None else result.staging_total_cores
+    if total < 1:
+        raise WorkflowError("preallocated core count must be >= 1")
+    buckets = {"100%": 0, "75%": 0, "50%": 0, "<50%": 0}
+    intransit_steps = [
+        m for m in result.steps if m.placement is Placement.IN_TRANSIT
+    ]
+    for metric in intransit_steps:
+        fraction = metric.staging_cores / total
+        if fraction >= 1.0 - 1e-9:
+            buckets["100%"] += 1
+        elif fraction >= 0.75:
+            buckets["75%"] += 1
+        elif fraction >= 0.50:
+            buckets["50%"] += 1
+        else:
+            buckets["<50%"] += 1
+    return buckets

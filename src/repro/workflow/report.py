@@ -1,0 +1,128 @@
+"""Result export and comparison reporting.
+
+Utilities a downstream user needs to consume workflow results outside
+Python: JSON serialization of a :class:`~repro.workflow.metrics.
+WorkflowResult` (round-trippable), and a comparison report across modes
+in the style the paper's evaluation uses ("X% reduction vs Y").
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core.actions import Placement
+from repro.errors import WorkflowError
+from repro.workflow.metrics import StepMetrics, WorkflowResult
+
+__all__ = ["compare", "result_from_json", "result_to_json"]
+
+
+def result_to_json(result: WorkflowResult, path: str | Path | None = None) -> str:
+    """Serialize a result (optionally writing it to ``path``)."""
+    payload = {
+        "mode": result.mode,
+        "end_to_end_seconds": result.end_to_end_seconds,
+        "total_sim_seconds": result.total_sim_seconds,
+        "data_moved_bytes": result.data_moved_bytes,
+        "utilization_efficiency": result.utilization_efficiency,
+        "staging_idle_core_seconds": result.staging_idle_core_seconds,
+        "staging_total_cores": result.staging_total_cores,
+        "pfs_bytes_written": result.pfs_bytes_written,
+        "pfs_bytes_read": result.pfs_bytes_read,
+        "energy_joules": result.energy_joules,
+        "energy_breakdown": dict(result.energy_breakdown),
+        "steps": [
+            {
+                "step": m.step,
+                "sim_seconds": m.sim_seconds,
+                "factor": m.factor,
+                "placement": m.placement.value,
+                "staging_cores": m.staging_cores,
+                "data_bytes_full": m.data_bytes_full,
+                "data_bytes_out": m.data_bytes_out,
+                "insitu_seconds": m.insitu_seconds,
+                "block_seconds": m.block_seconds,
+                "analysis_done_at": m.analysis_done_at,
+            }
+            for m in result.steps
+        ],
+    }
+    text = json.dumps(payload, indent=2)
+    if path is not None:
+        Path(path).write_text(text)
+    return text
+
+
+def result_from_json(source: str | Path) -> WorkflowResult:
+    """Rebuild a result from :func:`result_to_json` output (text or file)."""
+    if isinstance(source, Path) or (
+        isinstance(source, str) and "\n" not in source and source.endswith(".json")
+    ):
+        text = Path(source).read_text()
+    else:
+        text = str(source)
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise WorkflowError(f"not a workflow result: {exc}") from exc
+    try:
+        steps = [
+            StepMetrics(
+                step=s["step"],
+                sim_seconds=s["sim_seconds"],
+                factor=s["factor"],
+                placement=Placement(s["placement"]),
+                staging_cores=s["staging_cores"],
+                data_bytes_full=s["data_bytes_full"],
+                data_bytes_out=s["data_bytes_out"],
+                insitu_seconds=s["insitu_seconds"],
+                block_seconds=s["block_seconds"],
+                analysis_done_at=s["analysis_done_at"],
+            )
+            for s in payload["steps"]
+        ]
+        return WorkflowResult(
+            mode=payload["mode"],
+            steps=steps,
+            end_to_end_seconds=payload["end_to_end_seconds"],
+            total_sim_seconds=payload["total_sim_seconds"],
+            data_moved_bytes=payload["data_moved_bytes"],
+            utilization_efficiency=payload["utilization_efficiency"],
+            staging_idle_core_seconds=payload["staging_idle_core_seconds"],
+            staging_total_cores=payload["staging_total_cores"],
+            pfs_bytes_written=payload.get("pfs_bytes_written", 0.0),
+            pfs_bytes_read=payload.get("pfs_bytes_read", 0.0),
+            energy_joules=payload.get("energy_joules", 0.0),
+            energy_breakdown=payload.get("energy_breakdown", {}),
+        )
+    except KeyError as exc:
+        raise WorkflowError(f"workflow result missing field {exc}") from exc
+
+
+def compare(baseline: WorkflowResult, candidate: WorkflowResult) -> dict[str, float]:
+    """Percentage improvements of ``candidate`` over ``baseline``.
+
+    Positive numbers mean the candidate is better (lower time/overhead/
+    movement/energy, higher utilization) -- the paper's reporting style.
+    """
+
+    def cut(base: float, cand: float) -> float:
+        if base <= 0:
+            return 0.0
+        return 100.0 * (1.0 - cand / base)
+
+    return {
+        "end_to_end_cut_pct": cut(
+            baseline.end_to_end_seconds, candidate.end_to_end_seconds
+        ),
+        "overhead_cut_pct": cut(
+            baseline.overhead_seconds, candidate.overhead_seconds
+        ),
+        "data_movement_cut_pct": cut(
+            baseline.data_moved_bytes, candidate.data_moved_bytes
+        ),
+        "energy_cut_pct": cut(baseline.energy_joules, candidate.energy_joules),
+        "utilization_gain_pts": 100.0
+        * (candidate.utilization_efficiency - baseline.utilization_efficiency),
+    }

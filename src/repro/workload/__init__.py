@@ -1,0 +1,32 @@
+"""Workload traces: the bridge between the AMR substrate and the workflow simulator.
+
+The paper's experiments run Chombo applications on thousands of cores; we
+run the same (Python) applications at small scale, capture their dynamic
+behaviour as a :class:`~repro.workload.trace.WorkloadTrace`, and scale
+the trace to the experiment's core counts.  A calibrated synthetic
+generator covers configurations too large to run directly.
+
+- :mod:`repro.workload.trace` -- the trace data model and invariants;
+- :mod:`repro.workload.capture` -- capture a trace from a live AMR run;
+- :mod:`repro.workload.scale` -- rescale a trace to more ranks / larger grids;
+- :mod:`repro.workload.synthetic` -- synthetic AMR-like workload generator;
+- :mod:`repro.workload.memory` -- per-rank memory availability model
+  (Figure 1 / Figure 5 inputs).
+"""
+
+from repro.workload.trace import StepRecord, WorkloadTrace
+from repro.workload.capture import capture_trace
+from repro.workload.scale import scale_trace
+from repro.workload.synthetic import SyntheticAMRConfig, synthetic_amr_trace
+from repro.workload.memory import MemoryProfile, memory_profile_from_trace
+
+__all__ = [
+    "MemoryProfile",
+    "StepRecord",
+    "SyntheticAMRConfig",
+    "WorkloadTrace",
+    "capture_trace",
+    "memory_profile_from_trace",
+    "scale_trace",
+    "synthetic_amr_trace",
+]

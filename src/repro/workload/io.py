@@ -1,0 +1,86 @@
+"""Workload trace persistence.
+
+Traces are the interface between the (expensive) solver runs and the
+(cheap) workflow studies; persisting them lets a captured run be shared,
+diffed and replayed without re-running the solver.  Format: ``.npz`` with
+a JSON metadata blob, same pattern as the AMR checkpoints.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.workload.trace import StepRecord, WorkloadTrace
+
+__all__ = ["read_trace", "write_trace"]
+
+_FORMAT_VERSION = 1
+
+
+def write_trace(trace: WorkloadTrace, path: str | Path) -> None:
+    """Write ``trace`` to ``path`` (``.npz``)."""
+    trace.validate()
+    meta = {
+        "format": _FORMAT_VERSION,
+        "name": trace.name,
+        "ndim": trace.ndim,
+        "nranks": trace.nranks,
+        "bytes_per_cell": trace.bytes_per_cell,
+        "n_steps": len(trace),
+    }
+    scalars = np.array(
+        [
+            (r.step, r.sim_work, r.cells, r.data_bytes, r.memory_bytes,
+             r.analysis_intensity)
+            for r in trace
+        ],
+        dtype=np.float64,
+    )
+    rank_bytes = np.stack([r.rank_bytes for r in trace]) if len(trace) else \
+        np.zeros((0, trace.nranks))
+    np.savez_compressed(
+        Path(path),
+        _meta=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
+        scalars=scalars,
+        rank_bytes=rank_bytes,
+    )
+
+
+def read_trace(path: str | Path) -> WorkloadTrace:
+    """Load a trace previously written with :func:`write_trace`."""
+    with np.load(Path(path)) as data:
+        try:
+            meta = json.loads(bytes(data["_meta"]).decode())
+        except KeyError:
+            raise TraceError(f"{path} is not a repro workload trace") from None
+        if meta.get("format") != _FORMAT_VERSION:
+            raise TraceError(f"unsupported trace format {meta.get('format')!r}")
+        scalars = data["scalars"]
+        rank_bytes = data["rank_bytes"]
+        if scalars.shape[0] != meta["n_steps"]:
+            raise TraceError("trace step count mismatch")
+        records = [
+            StepRecord(
+                step=int(row[0]),
+                sim_work=float(row[1]),
+                cells=int(row[2]),
+                data_bytes=float(row[3]),
+                memory_bytes=float(row[4]),
+                rank_bytes=rank_bytes[i],
+                analysis_intensity=float(row[5]),
+            )
+            for i, row in enumerate(scalars)
+        ]
+    trace = WorkloadTrace(
+        name=meta["name"],
+        ndim=meta["ndim"],
+        nranks=meta["nranks"],
+        bytes_per_cell=meta["bytes_per_cell"],
+        steps=records,
+    )
+    trace.validate()
+    return trace

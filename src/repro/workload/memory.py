@@ -1,0 +1,74 @@
+"""Per-rank memory availability model (inputs for Figures 1 and 5).
+
+The application-layer policy trades data resolution against the memory
+left on a node after the simulation takes its share.
+:class:`MemoryProfile` carries, per step, the memory the simulation uses
+on the monitored rank and the capacity, giving the availability series of
+Figure 5 ("Real-time Memory Availability").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.workload.trace import WorkloadTrace
+
+__all__ = ["MemoryProfile", "memory_profile_from_trace"]
+
+
+@dataclass
+class MemoryProfile:
+    """Memory capacity and per-step simulation usage on one rank."""
+
+    capacity: float  # bytes physically available to the rank
+    sim_usage: np.ndarray  # bytes used by the simulation, per step
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0:
+            raise TraceError(f"capacity must be positive, got {self.capacity}")
+        self.sim_usage = np.asarray(self.sim_usage, dtype=np.float64)
+        if self.sim_usage.ndim != 1 or self.sim_usage.size == 0:
+            raise TraceError("sim_usage must be a non-empty 1-D array")
+        if (self.sim_usage < 0).any():
+            raise TraceError("sim_usage must be non-negative")
+
+    def __len__(self) -> int:
+        return len(self.sim_usage)
+
+    def available(self, step_index: int) -> float:
+        """Bytes free for analysis/reduction at ``step_index`` (clamped at 0)."""
+        return max(0.0, self.capacity - float(self.sim_usage[step_index]))
+
+    def availability_series(self) -> np.ndarray:
+        """Free bytes per step."""
+        return np.maximum(0.0, self.capacity - self.sim_usage)
+
+
+def memory_profile_from_trace(
+    trace: WorkloadTrace,
+    capacity: float,
+    rank: str | int = "peak",
+    usage_scale: float = 1.0,
+) -> MemoryProfile:
+    """Build a profile from a trace.
+
+    ``rank="peak"`` monitors the most loaded rank each step (the binding
+    constraint for the application-layer policy); an integer monitors one
+    fixed rank.  ``usage_scale`` maps captured small-scale footprints into
+    the target machine's regime (e.g. onto Intrepid's 500 MB/core).
+    """
+    if not len(trace):
+        raise TraceError("trace has no steps")
+    if usage_scale <= 0:
+        raise TraceError(f"usage_scale must be positive, got {usage_scale}")
+    if rank == "peak":
+        usage = np.array([record.peak_rank_bytes for record in trace])
+    else:
+        index = int(rank)
+        if not (0 <= index < trace.nranks):
+            raise TraceError(f"rank {index} outside [0, {trace.nranks})")
+        usage = np.array([record.rank_bytes[index] for record in trace])
+    return MemoryProfile(capacity=capacity, sim_usage=usage * usage_scale)

@@ -1,0 +1,94 @@
+"""Rescale a captured trace to a larger machine / problem.
+
+The paper's runs pair a grid size with a core count (e.g. 1024x1024x512
+on 2K cores).  We capture traces at laptop scale and rescale:
+
+- ``cell_factor`` multiplies cells, bytes, and simulation work (a bigger
+  problem on proportionally more cores keeps per-core load constant --
+  the paper's weak-scaling setup);
+- ``nranks`` changes the virtual rank count; the per-rank footprint
+  distribution is resampled from the captured empirical distribution so
+  the *imbalance structure* (Figure 1's key feature) is preserved.
+
+Resampling is seeded and deterministic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.workload.trace import StepRecord, WorkloadTrace
+
+__all__ = ["scale_trace"]
+
+
+def scale_trace(
+    trace: WorkloadTrace,
+    nranks: int,
+    cell_factor: float = 1.0,
+    name: str | None = None,
+    seed: int = 0,
+    jitter_sigma: float = 0.1,
+) -> WorkloadTrace:
+    """Return a new trace scaled to ``nranks`` ranks and ``cell_factor`` size.
+
+    ``jitter_sigma`` is the lognormal dispersion applied on top of the
+    captured per-rank distribution.  Captures run with few ranks, where
+    load balancing is nearly perfect; real runs at thousands of ranks show
+    far wider spreads (the paper's Fig. 1 spans an order of magnitude), so
+    upscaling studies typically pass a larger value.
+    """
+    if nranks < 1:
+        raise TraceError(f"nranks must be >= 1, got {nranks}")
+    if cell_factor <= 0:
+        raise TraceError(f"cell_factor must be positive, got {cell_factor}")
+    if jitter_sigma < 0:
+        raise TraceError(f"jitter_sigma must be >= 0, got {jitter_sigma}")
+    rng = np.random.default_rng(seed)
+    records = []
+    for record in trace.steps:
+        total_bytes_scaled = record.rank_bytes.sum() * cell_factor
+        rank_bytes = _resample_distribution(
+            record.rank_bytes, nranks, total_bytes_scaled, rng, jitter_sigma
+        )
+        records.append(
+            StepRecord(
+                step=record.step,
+                sim_work=record.sim_work * cell_factor,
+                cells=int(round(record.cells * cell_factor)),
+                data_bytes=record.data_bytes * cell_factor,
+                memory_bytes=record.memory_bytes * cell_factor,
+                rank_bytes=rank_bytes,
+                analysis_intensity=record.analysis_intensity,
+            )
+        )
+    return WorkloadTrace(
+        name=name or f"{trace.name}-x{nranks}",
+        ndim=trace.ndim,
+        nranks=nranks,
+        bytes_per_cell=trace.bytes_per_cell,
+        steps=records,
+    )
+
+
+def _resample_distribution(
+    source: np.ndarray,
+    nranks: int,
+    total: float,
+    rng: np.random.Generator,
+    jitter_sigma: float,
+) -> np.ndarray:
+    """Draw ``nranks`` values from the empirical shape of ``source``,
+    renormalized to sum to ``total``.
+
+    The multiplicative lognormal jitter decorrelates repeated draws and
+    widens the spread toward large-rank-count regimes.
+    """
+    if source.sum() <= 0:
+        return np.full(nranks, total / nranks)
+    draws = rng.choice(source, size=nranks, replace=True)
+    if jitter_sigma > 0:
+        draws = draws * rng.lognormal(mean=0.0, sigma=jitter_sigma, size=nranks)
+    draws = np.maximum(draws, 1e-9)
+    return draws * (total / draws.sum())

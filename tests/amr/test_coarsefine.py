@@ -1,0 +1,94 @@
+"""Tests for restriction and prolongation operators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.amr.coarsefine import prolong, restrict
+from repro.errors import GeometryError
+
+
+class TestRestrict:
+    def test_block_average_2d(self):
+        fine = np.arange(16, dtype=float).reshape(1, 4, 4)
+        coarse = restrict(fine, 2)
+        assert coarse.shape == (1, 2, 2)
+        assert coarse[0, 0, 0] == pytest.approx((0 + 1 + 4 + 5) / 4)
+
+    def test_constant_preserved(self):
+        fine = np.full((2, 8, 8, 8), 3.5)
+        coarse = restrict(fine, 2)
+        np.testing.assert_allclose(coarse, 3.5)
+
+    def test_ratio_one_identity(self):
+        fine = np.random.default_rng(0).normal(size=(1, 4, 4))
+        np.testing.assert_array_equal(restrict(fine, 1), fine)
+
+    def test_indivisible_shape_rejected(self):
+        with pytest.raises(GeometryError):
+            restrict(np.zeros((1, 5, 4)), 2)
+
+    def test_conservation(self):
+        rng = np.random.default_rng(1)
+        fine = rng.normal(size=(1, 8, 8))
+        coarse = restrict(fine, 4)
+        assert coarse.sum() * 16 == pytest.approx(fine.sum())
+
+
+class TestProlong:
+    def test_order0_repeats(self):
+        coarse = np.array([[1.0, 2.0]])
+        fine = prolong(coarse, 2, order=0)
+        np.testing.assert_allclose(fine, [[1.0, 1.0, 2.0, 2.0]])
+
+    def test_order1_linear_profile_exact(self):
+        # A linear ramp must be reproduced exactly (away from clipped edges).
+        coarse = np.arange(8, dtype=float).reshape(1, 8)
+        fine = prolong(coarse, 2, order=1)
+        expected = (np.arange(16) + 0.5) / 2 - 0.5
+        np.testing.assert_allclose(fine[0, 2:-2], expected[2:-2])
+
+    def test_order1_shapes_3d(self):
+        coarse = np.zeros((2, 3, 4, 5))
+        fine = prolong(coarse, 2, order=1)
+        assert fine.shape == (2, 6, 8, 10)
+
+    def test_invalid_params(self):
+        with pytest.raises(GeometryError):
+            prolong(np.zeros((1, 4)), 0)
+        with pytest.raises(GeometryError):
+            prolong(np.zeros((1, 4)), 2, order=3)
+
+    @settings(deadline=None, max_examples=40)
+    @given(
+        hnp.arrays(
+            dtype=np.float64,
+            shape=st.tuples(st.integers(1, 3), st.integers(1, 10), st.integers(1, 10)),
+            elements=st.floats(-100, 100),
+        ),
+        st.integers(2, 4),
+        st.sampled_from([0, 1]),
+    )
+    def test_prolong_restrict_roundtrip(self, coarse, ratio, order):
+        """Conservative prolongation: restrict(prolong(c)) == c exactly."""
+        fine = prolong(coarse, ratio, order=order)
+        back = restrict(fine, ratio)
+        np.testing.assert_allclose(back, coarse, atol=1e-9)
+
+    @settings(deadline=None, max_examples=30)
+    @given(
+        hnp.arrays(
+            dtype=np.float64,
+            shape=st.tuples(st.integers(1, 2), st.integers(2, 8), st.integers(2, 8)),
+            elements=st.floats(0, 50),
+        )
+    )
+    def test_limited_prolong_no_new_extrema(self, coarse):
+        """Order-1 with limiting must not dramatically overshoot the range."""
+        fine = prolong(coarse, 2, order=1)
+        lo, hi = coarse.min(), coarse.max()
+        span = max(hi - lo, 1e-12)
+        assert fine.min() >= lo - 0.5 * span - 1e-9
+        assert fine.max() <= hi + 0.5 * span + 1e-9

@@ -1,0 +1,92 @@
+"""Property-based tests for regrid invariants on random tag masks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.amr.box import Box
+from repro.amr.hierarchy import AMRHierarchy
+from repro.amr.tagging import buffer_tags
+
+N = 32
+
+
+def make_hierarchy(max_levels=2):
+    return AMRHierarchy(
+        Box((0, 0), (N - 1, N - 1)), ncomp=1, nghost=2,
+        max_levels=max_levels, max_box_size=16, dx0=1.0 / N, periodic=True,
+    )
+
+
+@settings(deadline=None, max_examples=25)
+@given(hnp.arrays(dtype=bool, shape=(N, N)))
+def test_regrid_covers_buffered_tags_and_stays_disjoint(mask):
+    h = make_hierarchy()
+    h.regrid({0: mask})
+    if not mask.any():
+        assert h.finest_level == 0
+        return
+    assert h.finest_level == 1
+    fine_boxes = h.levels[1].layout.boxes
+    # Disjointness is enforced by BoxLayout; check coverage of the
+    # buffered tags (the hierarchy buffers before clustering).
+    buffered = buffer_tags(mask, h.tag_buffer)
+    covered = np.zeros((2 * N, 2 * N), dtype=bool)
+    domain1 = h.level_domain(1)
+    for box in fine_boxes:
+        assert domain1.contains_box(box)
+        covered[box.slices(origin=domain1)] = True
+    coarse_cov = covered[::2, ::2] & covered[1::2, 1::2]
+    assert (coarse_cov | ~buffered).all()
+
+
+@settings(deadline=None, max_examples=15)
+@given(hnp.arrays(dtype=bool, shape=(N, N)),
+       hnp.arrays(dtype=bool, shape=(N, N)))
+def test_repeated_regrids_preserve_level0_data(mask1, mask2):
+    h = make_hierarchy()
+    rng = np.random.default_rng(0)
+    for i in range(len(h.levels[0].layout)):
+        view = h.levels[0].data.valid_view(i)
+        view[...] = rng.normal(size=view.shape)
+    before = h.levels[0].data.to_dense(h.level_domain(0)).copy()
+    h.regrid({0: mask1})
+    h.regrid({0: mask2})
+    after = h.levels[0].data.to_dense(h.level_domain(0))
+    np.testing.assert_array_equal(before, after)
+
+
+@settings(deadline=None, max_examples=10)
+@given(st.integers(0, 1000))
+def test_three_level_proper_nesting_random_blobs(seed):
+    rng = np.random.default_rng(seed)
+    h = make_hierarchy(max_levels=3)
+    # Random blobby tags at level 0 and level 1.
+    mask0 = np.zeros((N, N), dtype=bool)
+    for _ in range(rng.integers(1, 4)):
+        cx, cy = rng.integers(4, N - 4, size=2)
+        r = rng.integers(2, 6)
+        ys, xs = np.ogrid[:N, :N]
+        mask0 |= (xs - cx) ** 2 + (ys - cy) ** 2 <= r * r
+    h.regrid({0: mask0})
+    if h.finest_level < 1:
+        return
+    mask1 = np.zeros((2 * N, 2 * N), dtype=bool)
+    cover = h.levels[1].layout.covering_box()
+    cx = (cover.lo[0] + cover.hi[0]) // 2
+    cy = (cover.lo[1] + cover.hi[1]) // 2
+    mask1[max(0, cx - 3):cx + 3, max(0, cy - 3):cy + 3] = True
+    h.regrid({0: mask0, 1: mask1})
+    if h.finest_level < 2:
+        return
+    # Every level-2 box, coarsened, must be fully covered by level-1 boxes.
+    lvl1 = h.levels[1].layout.boxes
+    for box in h.levels[2].layout:
+        cbox = box.coarsen(2)
+        covered = sum(
+            inter.size for b1 in lvl1
+            if not (inter := cbox.intersect(b1)).is_empty()
+        )
+        assert covered == cbox.size

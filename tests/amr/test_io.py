@@ -1,0 +1,73 @@
+"""Tests for checkpoint/restart I/O."""
+
+import numpy as np
+import pytest
+
+from repro.amr.advection import AdvectionDiffusionSolver
+from repro.amr.box import Box
+from repro.amr.hierarchy import AMRHierarchy
+from repro.amr.io import read_checkpoint, write_checkpoint
+from repro.amr.stepper import AMRStepper
+from repro.errors import HierarchyError
+
+
+def run_some(n=32, steps=6):
+    h = AMRHierarchy(Box((0, 0), (n - 1, n - 1)), ncomp=1, nghost=2,
+                     max_levels=2, max_box_size=16, dx0=1.0 / n, periodic=True)
+    solver = AdvectionDiffusionSolver((1.0, 0.5), tag_threshold=0.05)
+    stepper = AMRStepper(h, solver, regrid_interval=3)
+    stepper.run(steps)
+    return h, stepper
+
+
+class TestCheckpointRoundtrip:
+    def test_bit_exact_state(self, tmp_path):
+        h, stepper = run_some()
+        path = tmp_path / "chk.npz"
+        write_checkpoint(h, path, time=stepper.time, step=stepper.step_count)
+        restored, time, step = read_checkpoint(path)
+        assert time == stepper.time
+        assert step == stepper.step_count
+        assert len(restored.levels) == len(h.levels)
+        for orig, back in zip(h.levels, restored.levels):
+            assert back.layout.boxes == orig.layout.boxes
+            assert back.layout.ranks == orig.layout.ranks
+            for a, b in zip(orig.data.data, back.data.data):
+                np.testing.assert_array_equal(a, b)
+
+    def test_restart_continues_identically(self, tmp_path):
+        h1, stepper1 = run_some(steps=4)
+        path = tmp_path / "chk.npz"
+        write_checkpoint(h1, path, time=stepper1.time, step=stepper1.step_count)
+
+        # Continue the original for 4 more steps.
+        stepper1.run(4)
+
+        # Restart from the checkpoint and run the same 4 steps.
+        h2, time, step = read_checkpoint(path)
+        solver = AdvectionDiffusionSolver((1.0, 0.5), tag_threshold=0.05)
+        stepper2 = AMRStepper(h2, solver, regrid_interval=3, initialize=False)
+        stepper2.time = time
+        stepper2.step_count = step
+        stepper2.run(4)
+
+        d1 = h1.levels[0].data.to_dense(h1.level_domain(0))
+        d2 = h2.levels[0].data.to_dense(h2.level_domain(0))
+        np.testing.assert_allclose(d1, d2, atol=1e-13)
+        assert stepper1.time == pytest.approx(stepper2.time)
+
+    def test_geometry_parameters_restored(self, tmp_path):
+        h, _ = run_some()
+        path = tmp_path / "chk.npz"
+        write_checkpoint(h, path)
+        restored, _, _ = read_checkpoint(path)
+        assert restored.domain == h.domain
+        assert restored.ref_ratio == h.ref_ratio
+        assert restored.dx0 == h.dx0
+        assert restored.periodic == h.periodic
+
+    def test_not_a_checkpoint_rejected(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez(path, a=np.zeros(3))
+        with pytest.raises(HierarchyError):
+            read_checkpoint(path)

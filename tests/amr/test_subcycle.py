@@ -1,0 +1,152 @@
+"""Tests for Berger-Oliger subcycled time stepping."""
+
+import numpy as np
+import pytest
+
+from repro.amr.advection import AdvectionDiffusionSolver
+from repro.amr.box import Box
+from repro.amr.godunov import PolytropicGasSolver
+from repro.amr.hierarchy import AMRHierarchy
+from repro.amr.stepper import AMRStepper
+from repro.amr.subcycle import SubcycledStepper
+
+
+def make_hierarchy(n=32, max_levels=2, ncomp=1):
+    return AMRHierarchy(
+        Box((0, 0), (n - 1, n - 1)), ncomp=ncomp, nghost=2,
+        max_levels=max_levels, max_box_size=16, dx0=1.0 / n, periodic=True,
+    )
+
+
+def refine_center(h, frac=0.3, center=0.35):
+    n = h.domain.shape[0]
+    mask = np.zeros(h.domain.shape, dtype=bool)
+    lo = int(n * (center - frac / 2))
+    hi = int(n * (center + frac / 2))
+    mask[lo:hi, lo:hi] = True
+    h.regrid({0: mask})
+
+
+def advection_solver():
+    return AdvectionDiffusionSolver((1.0, 0.5), nu=0.0,
+                                    blob_center=(0.35, 0.35), blob_radius=0.12)
+
+
+class TestCoarseDt:
+    def test_subcycled_dt_is_coarse_cfl(self):
+        h = make_hierarchy()
+        refine_center(h)
+        solver = advection_solver()
+        solver.initialize(h)
+        sub = SubcycledStepper(h, solver, regrid_interval=0, initialize=False)
+        # With a uniform velocity, the coarse CFL limit is r x the global
+        # (finest-level) limit the non-subcycled stepper would use.
+        assert sub.coarse_dt() == pytest.approx(2 * solver.stable_dt(h))
+
+    def test_single_level_matches_plain_stepper(self):
+        h1 = make_hierarchy(max_levels=1)
+        h2 = make_hierarchy(max_levels=1)
+        s1 = AMRStepper(h1, advection_solver(), regrid_interval=0)
+        s2 = SubcycledStepper(h2, advection_solver(), regrid_interval=0)
+        s1.run(5)
+        s2.run(5)
+        assert s1.time == pytest.approx(s2.time)
+        d1 = h1.levels[0].data.to_dense(h1.level_domain(0))
+        d2 = h2.levels[0].data.to_dense(h2.level_domain(0))
+        np.testing.assert_allclose(d1, d2, atol=1e-12)
+
+
+class TestSubcycledConservation:
+    def _integral(self, h):
+        return float(h.levels[0].data.to_dense(h.level_domain(0)).sum())
+
+    def test_conservation_with_reflux(self):
+        h = make_hierarchy()
+        refine_center(h)
+        stepper = SubcycledStepper(h, advection_solver(), regrid_interval=0,
+                                   reflux=True, initialize=False)
+        advection_solver().initialize(h)
+        h.average_down()
+        before = self._integral(h)
+        stepper.run(15)
+        after = self._integral(h)
+        assert after == pytest.approx(before, rel=1e-11)
+
+    def test_conservation_gas_solver(self):
+        h = make_hierarchy(ncomp=4)
+        solver = PolytropicGasSolver(tag_threshold=0.05)
+        stepper = SubcycledStepper(h, solver, regrid_interval=0, reflux=True)
+        refine_center(h, frac=0.4, center=0.5)
+        dense0 = h.levels[0].data.to_dense(h.level_domain(0))
+        mass0, energy0 = dense0[0].sum(), dense0[3].sum()
+        stepper.run(10)
+        dense1 = h.levels[0].data.to_dense(h.level_domain(0))
+        assert dense1[0].sum() == pytest.approx(mass0, rel=1e-10)
+        assert dense1[3].sum() == pytest.approx(energy0, rel=1e-8)
+
+    def test_reflux_off_leaks(self):
+        h = make_hierarchy()
+        refine_center(h)
+        stepper = SubcycledStepper(h, advection_solver(), regrid_interval=0,
+                                   reflux=False, initialize=False)
+        advection_solver().initialize(h)
+        h.average_down()
+        before = self._integral(h)
+        stepper.run(15)
+        drift = abs(self._integral(h) - before) / abs(before)
+        assert drift > 1e-9
+
+
+class TestSubcycledAccuracy:
+    def test_matches_nonsubcycled_solution(self):
+        """Over the same physical time the subcycled and non-subcycled
+        solutions must agree closely (both first-order in time)."""
+        h_sub = make_hierarchy()
+        h_plain = make_hierarchy()
+        for h in (h_sub, h_plain):
+            refine_center(h)
+        sub = SubcycledStepper(h_sub, advection_solver(), regrid_interval=0,
+                               reflux=True, initialize=False)
+        advection_solver().initialize(h_sub)
+        plain = AMRStepper(h_plain, advection_solver(), regrid_interval=0,
+                           reflux=True, initialize=False)
+        advection_solver().initialize(h_plain)
+        sub.run(5)
+        while plain.time < sub.time - 1e-12:
+            plain.step()
+        d_sub = h_sub.levels[0].data.to_dense(h_sub.level_domain(0))
+        d_plain = h_plain.levels[0].data.to_dense(h_plain.level_domain(0))
+        assert np.abs(d_sub - d_plain).max() < 0.02
+
+    def test_fewer_fine_updates_than_equal_dt(self):
+        """Subcycling's point: the coarse level takes r-times fewer steps.
+
+        Over the same physical time, the subcycled run performs roughly
+        half the total work of the non-subcycled run (2 levels, r=2)."""
+        h_sub = make_hierarchy()
+        h_plain = make_hierarchy()
+        for h in (h_sub, h_plain):
+            refine_center(h)
+        sub = SubcycledStepper(h_sub, advection_solver(), regrid_interval=0,
+                               reflux=False, initialize=False)
+        advection_solver().initialize(h_sub)
+        plain = AMRStepper(h_plain, advection_solver(), regrid_interval=0,
+                           reflux=False, initialize=False)
+        advection_solver().initialize(h_plain)
+        sub.run(4)
+        work_sub = sum(s.work_units for s in sub.history)
+        while plain.time < sub.time - 1e-12:
+            plain.step()
+        work_plain = sum(s.work_units for s in plain.history)
+        # Note: SubcycledStepper counts fine substeps in work_units.
+        assert work_sub < 0.8 * work_plain
+
+    def test_three_level_run(self):
+        h = make_hierarchy(n=32, max_levels=3)
+        solver = advection_solver()
+        stepper = SubcycledStepper(h, solver, regrid_interval=2, reflux=True)
+        stats = stepper.run(8)
+        assert len(stats) == 8
+        assert all(np.isfinite(s.dt) for s in stats)
+        dense = h.levels[0].data.to_dense(h.level_domain(0))
+        assert np.isfinite(dense).all()

@@ -1,0 +1,173 @@
+"""Tests for tagging and Berger-Rigoutsos clustering."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.amr.box import Box
+from repro.amr.clustering import cluster_tags
+from repro.amr.tagging import buffer_tags, tag_gradient, tag_undivided_difference
+from repro.errors import GeometryError
+
+
+class TestTagging:
+    def test_step_function_tags_jump(self):
+        field = np.zeros(10)
+        field[5:] = 1.0
+        tags = tag_undivided_difference(field, 0.5)
+        assert tags[4] and tags[5]
+        assert not tags[0] and not tags[9]
+
+    def test_smooth_field_untagged(self):
+        x = np.linspace(0, 1, 50)
+        tags = tag_undivided_difference(0.01 * x, 0.1)
+        assert not tags.any()
+
+    def test_2d_jump_tagged_along_line(self):
+        field = np.zeros((8, 8))
+        field[:, 4:] = 1.0
+        tags = tag_undivided_difference(field, 0.5)
+        assert tags[:, 3].all() and tags[:, 4].all()
+        assert not tags[:, 0].any()
+
+    def test_nan_cells_never_tagged(self):
+        field = np.zeros((6, 6))
+        field[2:, :] = np.nan
+        field[0, 3] = 10.0
+        tags = tag_undivided_difference(field, 0.5)
+        assert not tags[3:, :].any()
+        assert tags[0, 3]
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(GeometryError):
+            tag_undivided_difference(np.zeros(4), -1.0)
+
+    def test_gradient_tagging_scales_with_dx(self):
+        x = np.linspace(0, 1, 100)
+        field = x.copy()  # gradient 1.0 in physical units when dx=1/99... use dx arg
+        tags_fine = tag_gradient(field, threshold=0.5, dx=0.01)
+        tags_coarse = tag_gradient(field, threshold=0.5, dx=10.0)
+        assert tags_fine.all()
+        assert not tags_coarse.any()
+
+    def test_gradient_bad_dx(self):
+        with pytest.raises(GeometryError):
+            tag_gradient(np.zeros(4), 0.1, dx=0)
+
+
+class TestBufferTags:
+    def test_buffer_grows_by_radius(self):
+        tags = np.zeros((9, 9), dtype=bool)
+        tags[4, 4] = True
+        grown = buffer_tags(tags, 2)
+        assert grown[2, 4] and grown[4, 2] and grown[6, 4]
+        assert not grown[1, 4]
+        # Diamond (separable per-step) growth: corner at distance 2+2 untouched
+        assert not grown[1, 1]
+
+    def test_buffer_zero_identity(self):
+        tags = np.random.default_rng(0).random((5, 5)) > 0.5
+        np.testing.assert_array_equal(buffer_tags(tags, 0), tags)
+
+    def test_buffer_negative_rejected(self):
+        with pytest.raises(GeometryError):
+            buffer_tags(np.zeros((2, 2), dtype=bool), -1)
+
+    def test_buffer_clips_at_array_edge(self):
+        tags = np.zeros((4, 4), dtype=bool)
+        tags[0, 0] = True
+        grown = buffer_tags(tags, 3)
+        assert grown.shape == (4, 4)
+        assert grown[3, 0] and grown[0, 3]
+
+
+class TestClusterTags:
+    def test_empty_tags_no_boxes(self):
+        assert cluster_tags(np.zeros((8, 8), dtype=bool)) == []
+
+    def test_single_cell(self):
+        tags = np.zeros((8, 8), dtype=bool)
+        tags[3, 5] = True
+        boxes = cluster_tags(tags)
+        assert boxes == [Box((3, 5), (3, 5))]
+
+    def test_full_block_single_box(self):
+        tags = np.zeros((16, 16), dtype=bool)
+        tags[4:8, 4:8] = True
+        boxes = cluster_tags(tags, fill_ratio=0.9)
+        assert boxes == [Box((4, 4), (7, 7))]
+
+    def test_origin_shift(self):
+        tags = np.zeros((8, 8), dtype=bool)
+        tags[0, 0] = True
+        boxes = cluster_tags(tags, origin=(10, 20))
+        assert boxes == [Box((10, 20), (10, 20))]
+
+    def test_two_separated_clusters_split(self):
+        tags = np.zeros((32, 32), dtype=bool)
+        tags[2:6, 2:6] = True
+        tags[20:24, 20:24] = True
+        boxes = cluster_tags(tags, fill_ratio=0.7)
+        assert len(boxes) >= 2
+        covered = np.zeros_like(tags)
+        for b in boxes:
+            covered[b.slices(origin=Box((0, 0), (31, 31)))] = True
+        assert (covered >= tags).all()
+
+    def test_max_box_size_respected(self):
+        tags = np.ones((64, 64), dtype=bool)
+        boxes = cluster_tags(tags, max_box_size=16)
+        assert all(max(b.shape) <= 16 for b in boxes)
+
+    def test_bad_params_rejected(self):
+        tags = np.zeros((4, 4), dtype=bool)
+        with pytest.raises(GeometryError):
+            cluster_tags(tags, fill_ratio=0.0)
+        with pytest.raises(GeometryError):
+            cluster_tags(tags, max_box_size=0)
+        with pytest.raises(GeometryError):
+            cluster_tags(tags, origin=(0,))
+
+    @settings(deadline=None, max_examples=40)
+    @given(
+        hnp.arrays(
+            dtype=bool,
+            shape=st.tuples(st.integers(1, 24), st.integers(1, 24)),
+        ),
+        st.floats(0.3, 1.0),
+        st.integers(2, 16),
+    )
+    def test_invariants_cover_disjoint_fill(self, tags, fill_ratio, max_box_size):
+        boxes = cluster_tags(tags, fill_ratio=fill_ratio, max_box_size=max_box_size)
+        if not tags.any():
+            assert boxes == []
+            return
+        shape = tags.shape
+        origin = Box((0, 0), (shape[0] - 1, shape[1] - 1))
+        covered = np.zeros(shape, dtype=bool)
+        for b in boxes:
+            slc = b.slices(origin=origin)
+            # Disjoint: no double cover.
+            assert not covered[slc].any()
+            covered[slc] = True
+        # Every tag covered.
+        assert (covered | ~tags).all()
+
+    @settings(deadline=None, max_examples=30)
+    @given(
+        hnp.arrays(dtype=bool, shape=st.tuples(st.integers(2, 12), st.integers(2, 12),
+                                               st.integers(2, 12)))
+    )
+    def test_3d_coverage(self, tags):
+        boxes = cluster_tags(tags, fill_ratio=0.5, max_box_size=8)
+        if not tags.any():
+            assert boxes == []
+            return
+        shape = tags.shape
+        origin = Box((0, 0, 0), tuple(s - 1 for s in shape))
+        covered = np.zeros(shape, dtype=bool)
+        for b in boxes:
+            covered[b.slices(origin=origin)] = True
+        assert (covered | ~tags).all()

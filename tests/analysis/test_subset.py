@@ -1,0 +1,100 @@
+"""Tests for value-range subsetting and the block min/max index."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.analysis.subset import BlockRangeIndex, query_range
+from repro.errors import PolicyError
+
+
+class TestBlockRangeIndex:
+    def test_block_count(self):
+        index = BlockRangeIndex(np.zeros((16, 16)), (8, 8))
+        assert len(index) == 4
+        assert index.nbytes == 64
+
+    def test_partial_blocks(self):
+        index = BlockRangeIndex(np.zeros((10, 6)), (4, 4))
+        assert len(index) == 6
+
+    def test_pruning(self):
+        field = np.zeros((16, 16))
+        field[:8, :8] = 5.0  # only one block holds large values
+        index = BlockRangeIndex(field, (8, 8))
+        assert len(index.candidate_blocks(4.0, 6.0)) == 1
+        assert index.selectivity(4.0, 6.0) == pytest.approx(0.25)
+        assert index.selectivity(-1.0, 10.0) == 1.0
+
+    def test_nan_blocks_never_match(self):
+        field = np.full((8, 8), np.nan)
+        index = BlockRangeIndex(field, (4, 4))
+        assert index.candidate_blocks(-1e300, 1e300) == []
+
+    def test_validation(self):
+        with pytest.raises(PolicyError):
+            BlockRangeIndex(np.zeros((4, 4)), (2,))
+        with pytest.raises(PolicyError):
+            BlockRangeIndex(np.zeros((4, 4)), (0, 2))
+        index = BlockRangeIndex(np.zeros((4, 4)), (2, 2))
+        with pytest.raises(PolicyError):
+            index.candidate_blocks(2.0, 1.0)
+
+
+class TestQueryRange:
+    def test_simple_query(self):
+        field = np.arange(16.0).reshape(4, 4)
+        hits = query_range(field, 5.0, 7.0)
+        values = field[tuple(hits.T)]
+        np.testing.assert_array_equal(np.sort(values), [5.0, 6.0, 7.0])
+
+    def test_indexed_equals_unindexed(self):
+        rng = np.random.default_rng(0)
+        field = rng.normal(size=(24, 24))
+        index = BlockRangeIndex(field, (8, 8))
+        plain = query_range(field, 0.5, 1.5)
+        indexed = query_range(field, 0.5, 1.5, index=index)
+        as_set = lambda a: {tuple(row) for row in a}
+        assert as_set(plain) == as_set(indexed)
+
+    def test_empty_result_shape(self):
+        field = np.zeros((4, 4))
+        hits = query_range(field, 5.0, 6.0, index=BlockRangeIndex(field, (2, 2)))
+        assert hits.shape == (0, 2)
+
+    def test_shape_mismatch_rejected(self):
+        index = BlockRangeIndex(np.zeros((4, 4)), (2, 2))
+        with pytest.raises(PolicyError):
+            query_range(np.zeros((8, 8)), 0.0, 1.0, index=index)
+
+    def test_bad_range_rejected(self):
+        with pytest.raises(PolicyError):
+            query_range(np.zeros((2, 2)), 1.0, 0.0)
+
+    @settings(deadline=None, max_examples=30)
+    @given(
+        hnp.arrays(np.float64, st.tuples(st.integers(2, 20), st.integers(2, 20)),
+                   elements=st.floats(-10, 10)),
+        st.floats(-10, 10),
+        st.floats(0, 5),
+        st.integers(2, 6),
+    )
+    def test_index_never_changes_results(self, field, lo, span, block):
+        hi = lo + span
+        index = BlockRangeIndex(field, (block, block))
+        plain = {tuple(r) for r in query_range(field, lo, hi)}
+        indexed = {tuple(r) for r in query_range(field, lo, hi, index=index)}
+        assert plain == indexed
+
+    def test_3d_query_on_blast_field(self):
+        from repro.experiments.fig6_entropy import density_field
+
+        field = density_field(n=24, nsteps=8)
+        index = BlockRangeIndex(field, (8, 8, 8))
+        lo = float(np.percentile(field, 95))
+        hits = query_range(field, lo, float(field.max()), index=index)
+        assert len(hits) > 0
+        # The shock/ambient split makes the index selective.
+        assert index.selectivity(lo, float(field.max())) < 1.0

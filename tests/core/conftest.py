@@ -1,0 +1,37 @@
+"""Shared fixtures: operational-state factory with sensible defaults."""
+
+import pytest
+
+from repro.core.state import OperationalState
+from repro.units import GiB, MiB
+
+
+@pytest.fixture()
+def make_state():
+    def _make(**overrides):
+        defaults = dict(
+            step=1,
+            ndim=3,
+            core_rate=1e4,
+            data_bytes=1 * GiB,
+            rank_data_bytes=64 * MiB,
+            rank_memory_available=256 * MiB,
+            analysis_work=1e7,
+            sim_cores=2048,
+            staging_active_cores=128,
+            est_insitu_time=0.5,
+            est_intransit_time=8.0,
+            est_intransit_remaining=0.0,
+            staging_busy=False,
+            insitu_memory_ok=True,
+            intransit_memory_ok=True,
+            staging_total_cores=128,
+            staging_memory_total=8 * GiB,
+            staging_memory_used=0.0,
+            est_next_sim_time=60.0,
+            est_send_time=1.0,
+        )
+        defaults.update(overrides)
+        return OperationalState(**defaults)
+
+    return _make

@@ -1,0 +1,43 @@
+"""Unit tests for the adaptation action value objects."""
+
+import pytest
+
+from repro.core.actions import (
+    PlaceAnalysis,
+    Placement,
+    SetDownsampleFactor,
+    SetStagingCores,
+)
+from repro.errors import PolicyError
+
+
+class TestActions:
+    def test_downsample_factor_validated(self):
+        assert SetDownsampleFactor(step=1, factor=4).factor == 4
+        with pytest.raises(PolicyError):
+            SetDownsampleFactor(step=1, factor=0)
+
+    def test_staging_cores_validated(self):
+        assert SetStagingCores(step=1, cores=64).cores == 64
+        with pytest.raises(PolicyError):
+            SetStagingCores(step=1, cores=0)
+
+    def test_actions_are_frozen(self):
+        action = PlaceAnalysis(step=3, placement=Placement.IN_SITU,
+                               insitu_fraction=1.0)
+        with pytest.raises(AttributeError):
+            action.placement = Placement.IN_TRANSIT
+
+    def test_reason_defaults_empty(self):
+        assert SetDownsampleFactor(step=1, factor=2).reason == ""
+
+    def test_placement_enum_values(self):
+        assert {p.value for p in Placement} == {
+            "in_situ", "in_transit", "hybrid", "post_process"
+        }
+
+    def test_actions_usable_as_dict_keys(self):
+        a = SetDownsampleFactor(step=1, factor=2)
+        b = SetDownsampleFactor(step=1, factor=2)
+        assert a == b
+        assert len({a, b}) == 1

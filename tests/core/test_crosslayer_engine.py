@@ -1,0 +1,173 @@
+"""Tests for the root-leaf cross-layer policy, the monitor and the engine."""
+
+import pytest
+
+from repro.core.actions import Placement
+from repro.core.engine import AdaptationEngine
+from repro.core.mechanisms import Layer, Mechanism, standard_mechanisms
+from repro.core.monitor import Monitor
+from repro.core.policies.crosslayer import CrossLayerPolicy
+from repro.core.preferences import Objective, UserHints, UserPreferences
+from repro.errors import PolicyError
+from repro.units import GiB, MiB
+
+
+class TestCrossLayerPolicy:
+    def test_time_to_solution_plan_matches_paper(self):
+        # Section 4.4's worked example: middleware is root; application and
+        # resource are leaves; application runs first (S_data feeds M).
+        plan = CrossLayerPolicy().plan_layers(Objective.MINIMIZE_TIME_TO_SOLUTION)
+        assert plan == [Layer.APPLICATION, Layer.RESOURCE, Layer.MIDDLEWARE]
+
+    def test_utilization_plan_excludes_middleware(self):
+        # Second worked example: resource is root, application is leaf,
+        # "the middleware adaptation will not be included".
+        plan = CrossLayerPolicy().plan_layers(Objective.MAXIMIZE_RESOURCE_UTILIZATION)
+        assert plan == [Layer.APPLICATION, Layer.RESOURCE]
+
+    def test_resolution_objective_application_only(self):
+        plan = CrossLayerPolicy().plan_layers(Objective.MAXIMIZE_DATA_RESOLUTION)
+        assert plan == [Layer.APPLICATION]
+
+    def test_data_movement_plan_spans_all_layers(self):
+        # Reduction and placement both serve the movement preference;
+        # resource feeds the placement root, so all three run.
+        plan = CrossLayerPolicy().plan_layers(Objective.MINIMIZE_DATA_MOVEMENT)
+        assert plan == [Layer.APPLICATION, Layer.RESOURCE, Layer.MIDDLEWARE]
+
+    def test_unmatched_objective_raises(self):
+        from repro.core.mechanisms import Mechanism
+
+        lone = Mechanism("only", Layer.RESOURCE,
+                         Objective.MAXIMIZE_RESOURCE_UTILIZATION)
+        policy = CrossLayerPolicy({Layer.RESOURCE: lone})
+        with pytest.raises(PolicyError):
+            policy.execution_plan(Objective.MINIMIZE_DATA_MOVEMENT)
+
+    def test_roots_and_leaves_explicit(self):
+        policy = CrossLayerPolicy()
+        roots = policy.roots(Objective.MINIMIZE_TIME_TO_SOLUTION)
+        assert [m.layer for m in roots] == [Layer.MIDDLEWARE]
+        leaves = policy.leaves(roots)
+        assert {m.layer for m in leaves} == {Layer.APPLICATION, Layer.RESOURCE}
+
+    def test_cycle_detected(self):
+        a = Mechanism("a", Layer.APPLICATION, Objective.MAXIMIZE_DATA_RESOLUTION,
+                      inputs={"y"}, outputs={"x"})
+        b = Mechanism("b", Layer.RESOURCE, Objective.MAXIMIZE_RESOURCE_UTILIZATION,
+                      inputs={"x"}, outputs={"y"})
+        with pytest.raises(PolicyError):
+            CrossLayerPolicy({Layer.APPLICATION: a, Layer.RESOURCE: b})
+
+    def test_standard_mechanism_dependencies(self):
+        mechs = standard_mechanisms()
+        assert mechs[Layer.APPLICATION].feeds(mechs[Layer.MIDDLEWARE])
+        assert mechs[Layer.APPLICATION].feeds(mechs[Layer.RESOURCE])
+        assert mechs[Layer.RESOURCE].feeds(mechs[Layer.MIDDLEWARE])
+        assert not mechs[Layer.MIDDLEWARE].feeds(mechs[Layer.APPLICATION])
+
+
+class TestMonitor:
+    def test_sampling_interval(self):
+        monitor = Monitor(core_rate=1e4, network_bandwidth=1e9, interval=4)
+        assert monitor.should_sample(4)
+        assert monitor.should_sample(8)
+        assert not monitor.should_sample(5)
+
+    def test_estimates_seeded_from_calibration(self):
+        monitor = Monitor(core_rate=1e4, network_bandwidth=1e9, network_latency=0.5)
+        assert monitor.estimate_insitu(1e6, cores=100) == pytest.approx(1.0)
+        assert monitor.estimate_send(1e9) == pytest.approx(1.5)
+
+    def test_rate_learning_moves_estimates(self):
+        monitor = Monitor(core_rate=1e4, network_bandwidth=1e9)
+        before = monitor.estimate_insitu(1e6, 100)
+        # Observed runs are 2x slower than calibration.
+        for _ in range(20):
+            monitor.observe_insitu(1e6, cores=100, seconds=2.0)
+        after = monitor.estimate_insitu(1e6, 100)
+        assert after > 1.8 * before
+
+    def test_sim_step_time_ema(self):
+        monitor = Monitor(core_rate=1e4, network_bandwidth=1e9)
+        assert monitor.expected_sim_step_time == 0.0
+        monitor.observe_sim_step(10.0)
+        assert monitor.expected_sim_step_time == 10.0
+        monitor.observe_sim_step(20.0)
+        assert 10.0 < monitor.expected_sim_step_time < 20.0
+
+    def test_snapshot_derives_intransit_memory(self):
+        monitor = Monitor(core_rate=1e4, network_bandwidth=1e9)
+        common = dict(
+            step=1, ndim=3, rank_data_bytes=1 * MiB,
+            rank_memory_available=100 * MiB, analysis_work=1e6,
+            sim_cores=512, staging_active_cores=32, staging_total_cores=32,
+            staging_memory_total=1 * GiB, staging_busy=False,
+            est_intransit_remaining=0.0, insitu_memory_ok=True,
+            core_rate=1e4,
+        )
+        ok = monitor.snapshot(data_bytes=0.5 * GiB, staging_memory_used=0.0, **common)
+        assert ok.intransit_memory_ok
+        full = monitor.snapshot(data_bytes=0.5 * GiB,
+                                staging_memory_used=0.8 * GiB, **common)
+        assert not full.intransit_memory_ok
+        assert len(monitor.history) == 2
+
+    def test_invalid_inputs(self):
+        with pytest.raises(PolicyError):
+            Monitor(core_rate=1e4, network_bandwidth=1e9, interval=0)
+        monitor = Monitor(core_rate=1e4, network_bandwidth=1e9)
+        with pytest.raises(PolicyError):
+            monitor.observe_sim_step(0.0)
+
+
+class TestAdaptationEngine:
+    def test_local_middleware_only(self, make_state):
+        engine = AdaptationEngine(layers={Layer.MIDDLEWARE})
+        decision = engine.adapt(make_state())
+        assert decision.placement is not None
+        assert decision.factor is None
+        assert decision.staging_cores is None
+
+    def test_local_plan_order_canonical(self):
+        engine = AdaptationEngine(layers={Layer.MIDDLEWARE, Layer.APPLICATION})
+        assert engine.plan == [Layer.APPLICATION, Layer.MIDDLEWARE]
+
+    def test_empty_local_layers_rejected(self):
+        with pytest.raises(PolicyError):
+            AdaptationEngine(layers=set())
+
+    def test_global_mode_runs_full_plan(self, make_state):
+        hints = UserHints(downsample_phases=((1, (2, 4)),))
+        engine = AdaptationEngine(hints=hints)
+        assert engine.mode == "global"
+        decision = engine.adapt(make_state())
+        assert decision.factor in (2, 4)
+        assert decision.staging_cores is not None
+        assert decision.placement is not None
+        assert len(decision.actions) == 3
+
+    def test_global_reduction_shrinks_resource_demand(self, make_state):
+        # With vs without the application layer: reduced data needs fewer
+        # staging cores (the cross-layer interaction of Section 5.2.4).
+        state = make_state(data_bytes=4 * GiB, analysis_work=4e7,
+                           staging_total_cores=256, staging_active_cores=256,
+                           staging_memory_total=16 * GiB)
+        local = AdaptationEngine(layers={Layer.RESOURCE})
+        global_ = AdaptationEngine(hints=UserHints(downsample_phases=((1, (4,)),)))
+        m_local = local.adapt(state).staging_cores
+        m_global = global_.adapt(state).staging_cores
+        assert m_global < m_local
+
+    def test_global_utilization_objective_no_placement(self, make_state):
+        prefs = UserPreferences(objective=Objective.MAXIMIZE_RESOURCE_UTILIZATION)
+        engine = AdaptationEngine(preferences=prefs)
+        decision = engine.adapt(make_state())
+        assert decision.placement is None
+        assert decision.staging_cores is not None
+
+    def test_decisions_recorded(self, make_state):
+        engine = AdaptationEngine(layers={Layer.MIDDLEWARE})
+        engine.adapt(make_state(step=1))
+        engine.adapt(make_state(step=2))
+        assert [d.step for d in engine.decisions] == [1, 2]

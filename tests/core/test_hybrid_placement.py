@@ -1,0 +1,104 @@
+"""Tests for the hybrid (in-situ + in-transit) placement option."""
+
+import pytest
+
+from repro.core.actions import PlaceAnalysis, Placement
+from repro.core.policies.middleware import MiddlewarePolicy
+from repro.errors import PolicyError
+from repro.hpc.systems import titan
+from repro.workflow.config import Mode, WorkflowConfig
+from repro.workflow.driver import run_workflow
+from repro.workload.synthetic import SyntheticAMRConfig, synthetic_amr_trace
+
+
+class TestPlaceAnalysisAction:
+    def test_fraction_validated(self):
+        with pytest.raises(PolicyError):
+            PlaceAnalysis(step=1, placement=Placement.HYBRID, insitu_fraction=1.5)
+        with pytest.raises(PolicyError):
+            PlaceAnalysis(step=1, placement=Placement.HYBRID, insitu_fraction=-0.1)
+
+    def test_insitu_actions_carry_full_fraction(self, make_state):
+        state = make_state(staging_busy=True, est_intransit_remaining=10.0,
+                           est_insitu_time=2.0)
+        action = MiddlewarePolicy().decide(state)
+        assert action.placement is Placement.IN_SITU
+        assert action.insitu_fraction == 1.0
+
+
+class TestHybridPolicy:
+    def test_disabled_by_default(self, make_state):
+        state = make_state(staging_busy=True, est_intransit_remaining=10.0,
+                           est_insitu_time=2.0, est_intransit_time=8.0)
+        action = MiddlewarePolicy().decide(state)
+        assert action.placement is Placement.IN_SITU
+
+    def test_busy_backlog_dominates_stays_binary(self, make_state):
+        # When the backlog alone exceeds the in-situ time, no split can
+        # beat pure in-situ (the shipped part would finish after the
+        # backlog, i.e. after an in-situ run) -- the policy must stay
+        # binary even with hybrid enabled.
+        state = make_state(staging_busy=True, est_intransit_remaining=10.0,
+                           est_insitu_time=2.0, est_intransit_time=8.0)
+        action = MiddlewarePolicy(hybrid=True).decide(state)
+        assert action.placement is Placement.IN_SITU
+        assert action.insitu_fraction == 1.0
+
+    def test_tail_window_split(self, make_state):
+        # 3s of simulation remains; backlog 1s; shipping all 8s of
+        # in-transit work cannot hide -> ship only the 2s that fits:
+        # f = 1 - (3-1)/8 = 0.75.
+        state = make_state(staging_busy=True, est_intransit_remaining=1.0,
+                           est_insitu_time=0.5, est_intransit_time=8.0,
+                           est_remaining_sim_time=3.0)
+        action = MiddlewarePolicy(hybrid=True).decide(state)
+        assert action.placement is Placement.HYBRID
+        assert action.insitu_fraction == pytest.approx(0.75)
+
+    def test_idle_staging_still_all_intransit(self, make_state):
+        state = make_state(staging_busy=False)
+        action = MiddlewarePolicy(hybrid=True).decide(state)
+        assert action.placement is Placement.IN_TRANSIT
+
+
+class TestHybridWorkflow:
+    def _trace(self, steps=25):
+        return synthetic_amr_trace(
+            SyntheticAMRConfig(steps=steps, nranks=64, base_cells=2e7,
+                               sim_cost_per_cell=1.0, growth=2.0,
+                               analysis_growth_exponent=1.0, seed=0)
+        )
+
+    def _config(self, hybrid):
+        return WorkflowConfig(
+            mode=Mode.ADAPTIVE_MIDDLEWARE, sim_cores=1024, staging_cores=64,
+            spec=titan(), analysis_cost_per_cell=0.035,
+            hybrid_placement=hybrid,
+        )
+
+    def test_hybrid_runs_and_uses_splits(self):
+        result = run_workflow(self._config(hybrid=True), self._trace())
+        counts = result.placement_counts()
+        assert counts[Placement.HYBRID] > 0
+        assert all(m.analysis_done_at is not None for m in result.steps)
+
+    def test_hybrid_at_least_as_good_as_binary(self):
+        trace = self._trace()
+        binary = run_workflow(self._config(hybrid=False), trace)
+        hybrid = run_workflow(self._config(hybrid=True), trace)
+        assert hybrid.end_to_end_seconds <= binary.end_to_end_seconds * 1.02
+
+    def test_hybrid_moves_intermediate_data_volume(self):
+        trace = self._trace()
+        binary = run_workflow(self._config(hybrid=False), trace)
+        hybrid = run_workflow(self._config(hybrid=True), trace)
+        intransit = run_workflow(
+            WorkflowConfig(mode=Mode.STATIC_INTRANSIT, sim_cores=1024,
+                           staging_cores=64, spec=titan(),
+                           analysis_cost_per_cell=0.035),
+            trace,
+        )
+        # Hybrid ships the hideable share: more than binary adaptive (which
+        # diverts whole steps), less than everything.
+        assert binary.data_moved_bytes <= hybrid.data_moved_bytes
+        assert hybrid.data_moved_bytes <= intransit.data_moved_bytes

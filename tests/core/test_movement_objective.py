@@ -1,0 +1,82 @@
+"""Tests for the minimize-data-movement user preference, end to end."""
+
+import pytest
+
+from repro.core.actions import Placement
+from repro.core.policies.application import ApplicationLayerPolicy
+from repro.core.policies.middleware import MiddlewarePolicy
+from repro.core.preferences import Objective, UserHints, UserPreferences
+from repro.hpc.systems import titan
+from repro.units import MiB
+from repro.workflow.config import Mode, WorkflowConfig
+from repro.workflow.driver import run_workflow
+from repro.workload.synthetic import SyntheticAMRConfig, synthetic_amr_trace
+
+
+class TestPolicyBehaviour:
+    def test_application_picks_largest_factor(self, make_state):
+        hints = UserHints(downsample_phases=((1, (2, 4, 8)),))
+        policy = ApplicationLayerPolicy(
+            hints, objective=Objective.MINIMIZE_DATA_MOVEMENT
+        )
+        action = policy.decide(make_state(rank_data_bytes=10 * MiB,
+                                          rank_memory_available=512 * MiB))
+        assert action.factor == 8
+
+    def test_application_default_unchanged(self, make_state):
+        hints = UserHints(downsample_phases=((1, (2, 4, 8)),))
+        policy = ApplicationLayerPolicy(hints)
+        action = policy.decide(make_state(rank_data_bytes=10 * MiB,
+                                          rank_memory_available=512 * MiB))
+        assert action.factor == 2
+
+    def test_middleware_prefers_insitu(self, make_state):
+        policy = MiddlewarePolicy(objective=Objective.MINIMIZE_DATA_MOVEMENT)
+        # Even with idle staging, in-situ wins under the movement objective.
+        action = policy.decide(make_state(staging_busy=False))
+        assert action.placement is Placement.IN_SITU
+
+    def test_middleware_falls_back_when_insitu_infeasible(self, make_state):
+        policy = MiddlewarePolicy(objective=Objective.MINIMIZE_DATA_MOVEMENT)
+        action = policy.decide(make_state(insitu_memory_ok=False))
+        assert action.placement is Placement.IN_TRANSIT
+
+
+class TestWorkflowUnderMovementObjective:
+    def _trace(self):
+        return synthetic_amr_trace(
+            SyntheticAMRConfig(steps=15, nranks=64, base_cells=2e7,
+                               sim_cost_per_cell=1.0, growth=1.5, seed=0)
+        )
+
+    def _run(self, objective):
+        config = WorkflowConfig(
+            mode=Mode.GLOBAL,
+            sim_cores=1024,
+            staging_cores=64,
+            spec=titan(),
+            analysis_cost_per_cell=0.035,
+            preferences=UserPreferences(objective=objective),
+            hints=UserHints(downsample_phases=((1, (2, 4)),)),
+        )
+        return run_workflow(config, self._trace())
+
+    def test_movement_objective_moves_less_than_tts(self):
+        tts = self._run(Objective.MINIMIZE_TIME_TO_SOLUTION)
+        movement = self._run(Objective.MINIMIZE_DATA_MOVEMENT)
+        assert movement.data_moved_bytes < tts.data_moved_bytes
+
+    def test_movement_objective_typically_zero_movement(self):
+        movement = self._run(Objective.MINIMIZE_DATA_MOVEMENT)
+        counts = movement.placement_counts()
+        # In-situ memory is plentiful in this configuration: everything
+        # stays local.
+        assert counts[Placement.IN_SITU] == 15
+        assert movement.data_moved_bytes == 0.0
+
+    def test_movement_objective_costs_some_time(self):
+        tts = self._run(Objective.MINIMIZE_TIME_TO_SOLUTION)
+        movement = self._run(Objective.MINIMIZE_DATA_MOVEMENT)
+        # The trade the paper describes: moving nothing serializes analysis
+        # with the simulation, so time-to-solution cannot improve.
+        assert movement.end_to_end_seconds >= tts.end_to_end_seconds * 0.999

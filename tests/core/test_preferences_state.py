@@ -1,0 +1,85 @@
+"""Tests for user preferences/hints and the operational state."""
+
+import pytest
+
+from repro.core.preferences import Objective, UserHints, UserPreferences
+from repro.errors import PolicyError
+from repro.units import GiB, MiB
+
+
+class TestUserHints:
+    def test_paper_phase_pattern(self):
+        # Section 5.2.1: {2,4} first half, {2,4,8,16} second half of 40 steps.
+        hints = UserHints(downsample_phases=((1, (2, 4)), (21, (2, 4, 8, 16))))
+        assert hints.factors_for_step(1) == (2, 4)
+        assert hints.factors_for_step(20) == (2, 4)
+        assert hints.factors_for_step(21) == (2, 4, 8, 16)
+        assert hints.factors_for_step(40) == (2, 4, 8, 16)
+
+    def test_step_before_first_phase_uses_first(self):
+        hints = UserHints(downsample_phases=((5, (2, 4)),))
+        assert hints.factors_for_step(1) == (2, 4)
+
+    def test_default_is_no_reduction(self):
+        assert UserHints().factors_for_step(10) == (1,)
+
+    def test_validation(self):
+        with pytest.raises(PolicyError):
+            UserHints(downsample_phases=())
+        with pytest.raises(PolicyError):
+            UserHints(downsample_phases=((10, (2,)), (5, (4,))))
+        with pytest.raises(PolicyError):
+            UserHints(downsample_phases=((1, ()),))
+        with pytest.raises(PolicyError):
+            UserHints(downsample_phases=((1, (0,)),))
+        with pytest.raises(PolicyError):
+            UserHints(monitor_interval=0)
+        with pytest.raises(PolicyError):
+            UserHints(entropy_thresholds=(5.0,), entropy_factors=(4,))
+
+    def test_default_objective(self):
+        assert UserPreferences().objective is Objective.MINIMIZE_TIME_TO_SOLUTION
+
+
+class TestOperationalState:
+    def test_validation(self, make_state):
+        with pytest.raises(PolicyError):
+            make_state(ndim=4)
+        with pytest.raises(PolicyError):
+            make_state(core_rate=0)
+        with pytest.raises(PolicyError):
+            make_state(sim_cores=0)
+        with pytest.raises(PolicyError):
+            make_state(staging_active_cores=256, staging_total_cores=128)
+        with pytest.raises(PolicyError):
+            make_state(data_bytes=-1)
+
+    def test_with_reduction_scales_sizes(self, make_state):
+        state = make_state(data_bytes=1 * GiB, rank_data_bytes=64 * MiB,
+                           analysis_work=1e7, ndim=3)
+        reduced = state.with_reduction(2)
+        assert reduced.data_bytes == pytest.approx(1 * GiB / 8)
+        assert reduced.rank_data_bytes == pytest.approx(8 * MiB)
+        assert reduced.analysis_work == pytest.approx(1e7 / 8)
+        assert reduced.est_insitu_time == pytest.approx(state.est_insitu_time / 8)
+        assert reduced.est_send_time == pytest.approx(state.est_send_time / 8)
+
+    def test_with_reduction_2d(self, make_state):
+        state = make_state(ndim=2)
+        reduced = state.with_reduction(4)
+        assert reduced.data_bytes == pytest.approx(state.data_bytes / 16)
+
+    def test_with_reduction_identity(self, make_state):
+        state = make_state()
+        assert state.with_reduction(1) is state
+
+    def test_with_reduction_preserves_memory_fields(self, make_state):
+        state = make_state()
+        reduced = state.with_reduction(4)
+        assert reduced.rank_memory_available == state.rank_memory_available
+        assert reduced.staging_memory_total == state.staging_memory_total
+        assert reduced.est_next_sim_time == state.est_next_sim_time
+
+    def test_with_reduction_invalid(self, make_state):
+        with pytest.raises(PolicyError):
+            make_state().with_reduction(0)

@@ -1,0 +1,132 @@
+"""Unit tests for the machine model (nodes, memory, partitions)."""
+
+import pytest
+
+from repro.errors import ResourceError
+from repro.hpc.event import Simulator
+from repro.hpc.machine import Machine, MemoryPool
+from repro.units import GiB, MiB
+
+
+@pytest.fixture()
+def sim():
+    return Simulator()
+
+
+class TestMemoryPool:
+    def test_allocate_and_free(self):
+        pool = MemoryPool(1 * GiB)
+        pool.allocate(256 * MiB)
+        assert pool.used == 256 * MiB
+        assert pool.available == 768 * MiB
+        pool.free(256 * MiB)
+        assert pool.used == 0
+
+    def test_overcommit_raises(self):
+        pool = MemoryPool(1 * GiB)
+        with pytest.raises(ResourceError):
+            pool.allocate(2 * GiB)
+
+    def test_peak_tracking(self):
+        pool = MemoryPool(1 * GiB)
+        pool.allocate(100 * MiB)
+        pool.allocate(200 * MiB)
+        pool.free(250 * MiB)
+        assert pool.peak == 300 * MiB
+
+    def test_free_more_than_used_raises(self):
+        pool = MemoryPool(1 * GiB)
+        pool.allocate(10 * MiB)
+        with pytest.raises(ResourceError):
+            pool.free(20 * MiB)
+
+    def test_can_fit(self):
+        pool = MemoryPool(100 * MiB)
+        pool.allocate(60 * MiB)
+        assert pool.can_fit(40 * MiB)
+        assert not pool.can_fit(41 * MiB)
+
+    def test_nonpositive_total_rejected(self):
+        with pytest.raises(ResourceError):
+            MemoryPool(0)
+
+
+class TestMachinePartitions:
+    def test_partition_split(self, sim):
+        m = Machine(sim, node_count=10, cores_per_node=4,
+                    memory_per_node=2 * GiB, core_rate=1e4)
+        p_sim = m.create_partition("simulation", 8)
+        p_stage = m.create_partition("staging", 2)
+        assert p_sim.physical_cores == 32
+        assert p_stage.physical_cores == 8
+        assert m.partition("staging") is p_stage
+
+    def test_cannot_oversubscribe_nodes(self, sim):
+        m = Machine(sim, node_count=4, cores_per_node=4,
+                    memory_per_node=2 * GiB, core_rate=1e4)
+        m.create_partition("a", 3)
+        with pytest.raises(ResourceError):
+            m.create_partition("b", 2)
+
+    def test_duplicate_partition_name_rejected(self, sim):
+        m = Machine(sim, node_count=4, cores_per_node=4,
+                    memory_per_node=2 * GiB, core_rate=1e4)
+        m.create_partition("a", 1)
+        with pytest.raises(ResourceError):
+            m.create_partition("a", 1)
+
+    def test_unknown_partition_lookup_raises(self, sim):
+        m = Machine(sim, node_count=2, cores_per_node=4,
+                    memory_per_node=2 * GiB, core_rate=1e4)
+        with pytest.raises(ResourceError):
+            m.partition("nope")
+
+    def test_partition_memory_aggregates(self, sim):
+        m = Machine(sim, node_count=4, cores_per_node=4,
+                    memory_per_node=2 * GiB, core_rate=1e4)
+        p = m.create_partition("p", 3)
+        assert p.total_memory == 6 * GiB
+        assert p.memory_per_core == 512 * MiB
+
+    def test_partition_memory_allocation_spread(self, sim):
+        m = Machine(sim, node_count=3, cores_per_node=4,
+                    memory_per_node=1 * GiB, core_rate=1e4)
+        p = m.create_partition("p", 2)
+        p.allocate_memory(1 * GiB)
+        assert p.available_memory == pytest.approx(1 * GiB)
+        for node in p.nodes:
+            assert node.memory.used == pytest.approx(512 * MiB)
+        p.free_memory(1 * GiB)
+        assert p.available_memory == pytest.approx(2 * GiB)
+
+    def test_partition_allocation_rolls_back_on_failure(self, sim):
+        m = Machine(sim, node_count=3, cores_per_node=4,
+                    memory_per_node=1 * GiB, core_rate=1e4)
+        p = m.create_partition("p", 2)
+        # Pre-load one node so the even spread cannot fit there.
+        p.nodes[1].memory.allocate(900 * MiB)
+        with pytest.raises(ResourceError):
+            p.allocate_memory(600 * MiB)
+        assert p.nodes[0].memory.used == 0  # rollback happened
+
+    def test_set_active_cores_clamps(self, sim):
+        m = Machine(sim, node_count=4, cores_per_node=4,
+                    memory_per_node=2 * GiB, core_rate=1e4)
+        p = m.create_partition("p", 2)
+        p.set_active_cores(5)
+        assert p.active_cores == 5
+        with pytest.raises(ResourceError):
+            p.set_active_cores(9)
+        with pytest.raises(ResourceError):
+            p.set_active_cores(0)
+
+    def test_compute_time_scales_inverse_with_cores(self, sim):
+        m = Machine(sim, node_count=2, cores_per_node=4,
+                    memory_per_node=2 * GiB, core_rate=1e4)
+        assert m.compute_time(1e6, cores=10) == pytest.approx(10.0)
+        assert m.compute_time(1e6, cores=100) == pytest.approx(1.0)
+
+    def test_machine_needs_two_nodes(self, sim):
+        with pytest.raises(ResourceError):
+            Machine(sim, node_count=1, cores_per_node=4,
+                    memory_per_node=2 * GiB, core_rate=1e4)

@@ -1,0 +1,71 @@
+"""Tests for the pub/sub message bus."""
+
+import pytest
+
+from repro.errors import StagingError
+from repro.hpc.event import Simulator
+from repro.staging.messaging import MessageBus
+
+
+@pytest.fixture()
+def sim():
+    return Simulator()
+
+
+class TestMessageBus:
+    def test_publish_reaches_subscriber(self, sim):
+        bus = MessageBus(sim)
+        sub = bus.subscribe("memory")
+
+        def consumer(sim):
+            msg = yield sub.get()
+            return msg
+
+        def producer(sim):
+            yield sim.timeout(1.0)
+            bus.publish("memory", {"rank": 3, "mb": 250})
+
+        c = sim.process(consumer(sim))
+        sim.process(producer(sim))
+        sim.run()
+        assert c.value == {"rank": 3, "mb": 250}
+
+    def test_fanout_to_all_subscribers(self, sim):
+        bus = MessageBus(sim)
+        subs = [bus.subscribe("t") for _ in range(3)]
+        assert bus.publish("t", "hello") == 3
+        sim.run()
+        assert all(s.pending() == 1 for s in subs)
+
+    def test_publish_without_subscribers(self, sim):
+        bus = MessageBus(sim)
+        assert bus.publish("nobody", 1) == 0
+        assert bus.published["nobody"] == 1
+
+    def test_messages_ordered(self, sim):
+        bus = MessageBus(sim)
+        sub = bus.subscribe("t")
+        received = []
+
+        def consumer(sim):
+            for _ in range(3):
+                msg = yield sub.get()
+                received.append(msg)
+
+        for i in range(3):
+            bus.publish("t", i)
+        sim.process(consumer(sim))
+        sim.run()
+        assert received == [0, 1, 2]
+
+    def test_unsubscribe_stops_delivery(self, sim):
+        bus = MessageBus(sim)
+        sub = bus.subscribe("t")
+        bus.unsubscribe(sub)
+        assert bus.publish("t", "x") == 0
+        with pytest.raises(StagingError):
+            bus.unsubscribe(sub)
+
+    def test_empty_topic_rejected(self, sim):
+        with pytest.raises(StagingError):
+            MessageBus(sim).subscribe("")

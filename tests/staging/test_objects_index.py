@@ -1,0 +1,97 @@
+"""Tests for data objects and the box index."""
+
+import numpy as np
+import pytest
+
+from repro.amr.box import Box
+from repro.errors import StagingError
+from repro.staging.index import BoxIndex
+from repro.staging.objects import DataObject
+
+
+def obj(name="rho", version=0, box=None, nbytes=100.0):
+    return DataObject(name, version, box or Box((0, 0), (7, 7)), nbytes_hint=nbytes)
+
+
+class TestDataObject:
+    def test_payload_size(self):
+        o = DataObject("u", 1, Box((0,), (9,)), payload=np.zeros(10))
+        assert o.nbytes == 80
+
+    def test_hint_size(self):
+        assert obj(nbytes=12345.0).nbytes == 12345.0
+
+    def test_exactly_one_size_source(self):
+        with pytest.raises(StagingError):
+            DataObject("u", 0, Box((0,), (1,)))
+        with pytest.raises(StagingError):
+            DataObject("u", 0, Box((0,), (1,)), payload=np.zeros(2), nbytes_hint=1.0)
+
+    def test_validation(self):
+        with pytest.raises(StagingError):
+            DataObject("", 0, Box((0,), (1,)), nbytes_hint=1.0)
+        with pytest.raises(StagingError):
+            DataObject("u", -1, Box((0,), (1,)), nbytes_hint=1.0)
+        with pytest.raises(StagingError):
+            DataObject("u", 0, Box((0,), (1,)), nbytes_hint=-1.0)
+
+    def test_uids_unique(self):
+        assert obj().uid != obj().uid
+
+    def test_overlaps(self):
+        o = obj(box=Box((0, 0), (3, 3)))
+        assert o.overlaps(Box((2, 2), (5, 5)))
+        assert not o.overlaps(Box((10, 10), (12, 12)))
+
+
+class TestBoxIndex:
+    def test_insert_query(self):
+        idx = BoxIndex()
+        a = obj(version=3, box=Box((0, 0), (3, 3)))
+        b = obj(version=3, box=Box((8, 8), (11, 11)))
+        idx.insert(a)
+        idx.insert(b)
+        assert len(idx) == 2
+        hits = idx.query("rho", 3, Box((2, 2), (4, 4)))
+        assert hits == [a]
+        assert set(idx.query("rho", 3)) == {a, b}
+
+    def test_query_missing_version_empty(self):
+        idx = BoxIndex()
+        idx.insert(obj(version=1))
+        assert idx.query("rho", 2) == []
+        assert idx.query("other", 1) == []
+
+    def test_duplicate_uid_rejected(self):
+        idx = BoxIndex()
+        a = obj()
+        idx.insert(a)
+        with pytest.raises(StagingError):
+            idx.insert(a)
+
+    def test_remove(self):
+        idx = BoxIndex()
+        a = obj()
+        idx.insert(a)
+        idx.remove(a)
+        assert len(idx) == 0
+        with pytest.raises(StagingError):
+            idx.remove(a)
+
+    def test_versions_sorted(self):
+        idx = BoxIndex()
+        for v in (5, 1, 3):
+            idx.insert(obj(version=v))
+        assert idx.versions("rho") == [1, 3, 5]
+        assert idx.latest_version("rho") == 5
+        assert idx.latest_version("nope") is None
+
+    def test_drop_version(self):
+        idx = BoxIndex()
+        a = obj(version=2)
+        b = obj(version=2)
+        idx.insert(a)
+        idx.insert(b)
+        dropped = idx.drop_version("rho", 2)
+        assert set(dropped) == {a, b}
+        assert len(idx) == 0

@@ -1,0 +1,124 @@
+"""Tests for the DataSpace shared object space."""
+
+import pytest
+
+from repro.amr.box import Box
+from repro.errors import StagingError
+from repro.hpc.event import Simulator
+from repro.staging.objects import DataObject
+from repro.staging.space import DataSpace
+
+
+@pytest.fixture()
+def sim():
+    return Simulator()
+
+
+def obj(version=0, nbytes=100.0, name="rho"):
+    return DataObject(name, version, Box((0, 0), (7, 7)), nbytes_hint=nbytes)
+
+
+class TestPutGet:
+    def test_put_then_get(self, sim):
+        space = DataSpace(sim)
+        a = obj()
+        space.put(a)
+        assert space.get("rho", 0) == [a]
+        assert space.bytes_stored == 100.0
+
+    def test_get_box_filter(self, sim):
+        space = DataSpace(sim)
+        a = DataObject("rho", 0, Box((0, 0), (3, 3)), nbytes_hint=1.0)
+        b = DataObject("rho", 0, Box((8, 8), (9, 9)), nbytes_hint=1.0)
+        space.put(a)
+        space.put(b)
+        assert space.get("rho", 0, Box((0, 0), (1, 1))) == [a]
+
+    def test_get_async_blocks_until_put(self, sim):
+        space = DataSpace(sim)
+
+        def consumer(sim):
+            objs = yield space.get_async("rho", 5)
+            return (objs, sim.now)
+
+        def producer(sim):
+            yield sim.timeout(3.0)
+            space.put(obj(version=5))
+
+        c = sim.process(consumer(sim))
+        sim.process(producer(sim))
+        sim.run()
+        objs, when = c.value
+        assert when == 3.0 and objs[0].version == 5
+
+    def test_get_async_immediate_when_present(self, sim):
+        space = DataSpace(sim)
+        space.put(obj(version=1))
+
+        def consumer(sim):
+            objs = yield space.get_async("rho", 1)
+            return sim.now
+
+        c = sim.process(consumer(sim))
+        sim.run()
+        assert c.value == 0.0
+
+    def test_remove_version_frees_bytes(self, sim):
+        space = DataSpace(sim)
+        space.put(obj(version=0, nbytes=64))
+        space.put(obj(version=1, nbytes=32))
+        freed = space.remove_version("rho", 0)
+        assert freed == 64
+        assert space.bytes_stored == 32
+
+
+class TestCapacity:
+    def test_put_over_capacity_raises(self, sim):
+        space = DataSpace(sim, capacity_bytes=150)
+        space.put(obj(version=0, nbytes=100))
+        with pytest.raises(StagingError):
+            space.put(obj(version=1, nbytes=100))
+
+    def test_available_bytes(self, sim):
+        space = DataSpace(sim, capacity_bytes=200)
+        space.put(obj(nbytes=50))
+        assert space.available_bytes == 150
+        assert DataSpace(sim).available_bytes == float("inf")
+
+    def test_eviction_of_consumed_versions(self, sim):
+        space = DataSpace(sim, capacity_bytes=150, evict_consumed=True)
+        a = obj(version=0, nbytes=100)
+        space.put(a)
+        space.get("rho", 0)  # consume v0
+        space.put(obj(version=1, nbytes=100))  # forces eviction of v0
+        assert space.bytes_stored == 100
+        assert space.get("rho", 0) == []
+
+    def test_unconsumed_versions_not_evicted(self, sim):
+        space = DataSpace(sim, capacity_bytes=150, evict_consumed=True)
+        space.put(obj(version=0, nbytes=100))  # never consumed
+        with pytest.raises(StagingError):
+            space.put(obj(version=1, nbytes=100))
+
+    def test_coupled_producer_consumer_pipeline(self, sim):
+        """A simulation publishing versions and an analysis consuming them
+        in lockstep -- the paper's coupling pattern."""
+        space = DataSpace(sim)
+        consumed = []
+
+        def producer(sim):
+            for v in range(5):
+                yield sim.timeout(1.0)
+                space.put(obj(version=v, nbytes=10))
+
+        def consumer(sim):
+            for v in range(5):
+                objs = yield space.get_async("rho", v)
+                consumed.append((v, sim.now))
+                space.remove_version("rho", v)
+
+        sim.process(producer(sim))
+        sim.process(consumer(sim))
+        sim.run()
+        assert consumed == [(v, float(v + 1)) for v in range(5)]
+        assert space.bytes_stored == 0

@@ -1,0 +1,95 @@
+"""Property-based tests for DataSpace accounting invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.amr.box import Box
+from repro.errors import StagingError
+from repro.hpc.event import Simulator
+from repro.staging.objects import DataObject
+from repro.staging.space import DataSpace
+
+
+@st.composite
+def operations(draw):
+    """A random sequence of put/get/remove operations."""
+    ops = []
+    n = draw(st.integers(1, 30))
+    for _ in range(n):
+        kind = draw(st.sampled_from(["put", "get", "remove"]))
+        version = draw(st.integers(0, 5))
+        size = draw(st.floats(1.0, 1000.0))
+        ops.append((kind, version, size))
+    return ops
+
+
+class TestSpaceAccounting:
+    @settings(deadline=None, max_examples=40)
+    @given(operations())
+    def test_bytes_stored_matches_live_objects(self, ops):
+        sim = Simulator()
+        space = DataSpace(sim)
+        live: dict[int, float] = {}
+        for kind, version, size in ops:
+            if kind == "put":
+                space.put(DataObject("v", version, Box((0,), (1,)),
+                                     nbytes_hint=size))
+                live[version] = live.get(version, 0.0) + size
+            elif kind == "get":
+                space.get("v", version)
+            else:
+                freed = space.remove_version("v", version)
+                assert freed == pytest.approx(live.pop(version, 0.0))
+        assert space.bytes_stored == pytest.approx(sum(live.values()))
+        assert space.available_bytes == float("inf")
+
+    @settings(deadline=None, max_examples=30)
+    @given(st.lists(st.floats(1.0, 100.0), min_size=1, max_size=20),
+           st.floats(150.0, 500.0))
+    def test_capacity_never_exceeded(self, sizes, capacity):
+        sim = Simulator()
+        space = DataSpace(sim, capacity_bytes=capacity, evict_consumed=True)
+        for version, size in enumerate(sizes):
+            try:
+                space.put(DataObject("v", version, Box((0,), (1,)),
+                                     nbytes_hint=size))
+            except StagingError:
+                pass
+            # Consume everything so eviction stays possible.
+            space.get("v", version)
+            assert space.bytes_stored <= capacity + 1e-9
+
+    @settings(deadline=None, max_examples=30)
+    @given(st.integers(0, 8), st.integers(1, 8))
+    def test_get_async_fifo_with_interleaved_puts(self, pre_puts, post_puts):
+        """Every waiter is woken exactly by its version's publication."""
+        sim = Simulator()
+        space = DataSpace(sim)
+        total = pre_puts + post_puts
+        woken = []
+
+        def consumer(sim, version):
+            objs = yield space.get_async("v", version)
+            woken.append((version, sim.now, len(objs)))
+
+        for v in range(pre_puts):
+            space.put(DataObject("v", v, Box((0,), (1,)), nbytes_hint=1.0))
+        for v in range(total):
+            sim.process(consumer(sim, v))
+
+        def producer(sim):
+            for v in range(pre_puts, total):
+                yield sim.timeout(1.0)
+                space.put(DataObject("v", v, Box((0,), (1,)), nbytes_hint=1.0))
+
+        sim.process(producer(sim))
+        sim.run()
+        assert len(woken) == total
+        for version, when, count in woken:
+            assert count >= 1
+            if version >= pre_puts:
+                assert when == pytest.approx(version - pre_puts + 1.0)
+            else:
+                assert when == 0.0

@@ -1,0 +1,34 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import EXPERIMENTS, main
+
+
+class TestCLI:
+    def test_list_prints_all_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_unknown_experiment_fails(self, capsys):
+        assert main(["bogus"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_fig4_runs_end_to_end(self, capsys):
+        assert main(["fig4"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 4" in out
+        assert "PASS" in out
+
+    def test_registry_complete(self):
+        # Every evaluated figure/table of the paper has a CLI entry.
+        expected = {"fig1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+                    "fig10", "fig11", "table2", "ablations", "objectives"}
+        assert expected == set(EXPERIMENTS)
+
+    def test_descriptions_nonempty(self):
+        for name, (description, fn) in EXPERIMENTS.items():
+            assert description
+            assert callable(fn)

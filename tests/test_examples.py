@@ -1,0 +1,43 @@
+"""Smoke tests: the shipped examples must run end to end.
+
+Each example is executed in-process (``runpy``) so regressions in the
+public API surface break the suite, not just the README.  Only the
+quicker examples run here; the scale-heavy ones are exercised through
+the benchmarks.
+"""
+
+import runpy
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", capsys)
+        assert "adaptive_middleware" in out
+        assert "static_insitu" in out
+
+    def test_checkpoint_restart(self, capsys):
+        out = run_example("checkpoint_restart.py", capsys)
+        assert "bit-exact restart: YES" in out
+
+    def test_subset_query(self, capsys):
+        out = run_example("subset_query.py", capsys)
+        assert "shock front" in out
+        assert "in-situ index" in out
+
+    def test_all_examples_exist_and_have_docstrings(self):
+        scripts = sorted(EXAMPLES.glob("*.py"))
+        assert len(scripts) >= 7
+        for script in scripts:
+            text = script.read_text()
+            assert text.startswith("#!/usr/bin/env python"), script.name
+            assert '"""' in text.split("\n", 2)[1], script.name

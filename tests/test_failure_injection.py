@@ -1,0 +1,193 @@
+"""Failure-injection tests: the system must fail loudly and recover cleanly."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ResourceError, SimulationError, StagingError, WorkflowError
+from repro.hpc.event import Interrupt, Simulator
+from repro.hpc.network import Network
+from repro.hpc.resources import Resource
+from repro.staging.area import StagingArea
+
+
+class TestInterruptedWaiters:
+    def test_interrupted_resource_waiter_does_not_block_queue(self):
+        """A process interrupted while queued must not wedge the FCFS queue."""
+        sim = Simulator()
+        res = Resource(sim, capacity=1)
+        served = []
+
+        def holder(sim):
+            yield res.request(1)
+            yield sim.timeout(10.0)
+            res.release(1)
+
+        def doomed(sim):
+            try:
+                yield res.request(1)
+            except Interrupt:
+                return "interrupted"
+
+        def patient(sim):
+            yield res.request(1)
+            served.append(sim.now)
+            res.release(1)
+
+        sim.process(holder(sim))
+        victim = sim.process(doomed(sim))
+        sim.process(patient(sim))
+
+        def assassin(sim):
+            yield sim.timeout(1.0)
+            victim.interrupt()
+
+        sim.process(assassin(sim))
+        sim.run()
+        assert victim.value == "interrupted"
+        assert served == [10.0]
+
+    def test_interrupting_transfer_waiter_leaves_network_consistent(self):
+        sim = Simulator()
+        net = Network(sim)
+        net.add_link("a", "b", bandwidth=10.0)
+
+        def waiter(sim):
+            try:
+                yield net.transfer("a", "b", 100.0)
+            except Interrupt:
+                return "gone"
+
+        victim = sim.process(waiter(sim))
+
+        def assassin(sim):
+            yield sim.timeout(1.0)
+            victim.interrupt()
+
+        sim.process(assassin(sim))
+        # Another transfer afterwards still completes normally.
+        def follow_up(sim):
+            yield sim.timeout(2.0)
+            done = net.transfer("a", "b", 50.0)
+            yield done
+            return sim.now
+
+        follower = sim.process(follow_up(sim))
+        sim.run()
+        assert victim.value == "gone"
+        assert np.isfinite(follower.value)
+
+
+class TestStagingFailures:
+    def test_worker_survives_zero_work_jobs(self):
+        sim = Simulator()
+        net = Network(sim)
+        net.add_link("sim", "staging", bandwidth=100.0)
+        area = StagingArea(sim, net, core_rate=10.0, total_cores=4)
+        jobs = [area.submit(i, 0.0, 0.0) for i in range(3)]
+        sim.run(sim.all_of([j.done for j in jobs]))
+        assert len(area.completed) == 3
+
+    def test_negative_job_rejected_before_state_changes(self):
+        sim = Simulator()
+        net = Network(sim)
+        net.add_link("sim", "staging", bandwidth=100.0)
+        area = StagingArea(sim, net, core_rate=10.0, total_cores=4,
+                           memory_bytes=1000.0)
+        with pytest.raises(StagingError):
+            area.submit(0, 10.0, -1.0)
+        # The failed submit must not leak memory accounting.
+        assert area.memory_used == 0.0
+        assert area.bytes_ingested == 0.0
+
+    def test_oversized_step_raises_workflow_error(self):
+        """A step that cannot fit staging memory even when empty must fail
+        loudly in static in-transit mode, not deadlock."""
+        from repro.hpc.systems import titan
+        from repro.workflow.config import Mode, WorkflowConfig
+        from repro.workflow.driver import run_workflow
+        from repro.workload.trace import StepRecord, WorkloadTrace
+
+        trace = WorkloadTrace(
+            "huge", 3, 4, 8.0,
+            [StepRecord(1, 1e6, 10**7, 1e18, 1e9, np.full(4, 2.5e8))],
+        )
+        config = WorkflowConfig(mode=Mode.STATIC_INTRANSIT, sim_cores=64,
+                                staging_cores=4, spec=titan())
+        with pytest.raises(WorkflowError, match="exceed staging memory"):
+            run_workflow(config, trace)
+
+
+class TestKernelFaultBarriers:
+    def test_failed_event_poisons_all_waiters(self):
+        sim = Simulator()
+        evt = sim.event()
+        outcomes = []
+
+        def waiter(sim, tag):
+            try:
+                yield evt
+            except RuntimeError:
+                outcomes.append(tag)
+
+        for tag in ("a", "b", "c"):
+            sim.process(waiter(sim, tag))
+
+        def failer(sim):
+            yield sim.timeout(1.0)
+            evt.fail(RuntimeError("poisoned"))
+
+        sim.process(failer(sim))
+        sim.run()
+        assert sorted(outcomes) == ["a", "b", "c"]
+
+    def test_crash_in_one_process_aborts_run_deterministically(self):
+        sim = Simulator()
+
+        def healthy(sim):
+            for _ in range(100):
+                yield sim.timeout(1.0)
+
+        def crasher(sim):
+            yield sim.timeout(5.0)
+            raise ValueError("injected fault")
+
+        sim.process(healthy(sim))
+        sim.process(crasher(sim))
+        with pytest.raises(ValueError, match="injected fault"):
+            sim.run()
+        assert sim.now == 5.0  # aborted exactly at the fault
+
+    def test_release_after_resize_down_is_safe(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=8)
+
+        def proc(sim):
+            yield res.request(6)
+            res.resize(2)
+            yield sim.timeout(1.0)
+            res.release(6)
+            return res.available
+
+        p = sim.process(proc(sim))
+        sim.run()
+        assert p.value == 2
+
+    def test_scheduling_in_the_past_rejected(self):
+        sim = Simulator()
+
+        def proc(sim):
+            yield sim.timeout(5.0)
+
+        sim.process(proc(sim))
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim._schedule_at(1.0, lambda: None)
+
+    def test_machine_rejects_invalid_compute(self):
+        from repro.hpc.machine import Machine
+
+        sim = Simulator()
+        m = Machine(sim, node_count=2, cores_per_node=4,
+                    memory_per_node=2**30, core_rate=1e4)
+        with pytest.raises(ResourceError):
+            m.compute_time(1e6, cores=0)

@@ -1,0 +1,74 @@
+"""Unit tests for unit helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.units import (
+    GiB,
+    KiB,
+    MiB,
+    format_bytes,
+    format_seconds,
+    parse_bytes,
+)
+
+
+class TestFormatBytes:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (0, "0 B"),
+            (512, "512 B"),
+            (1 * KiB, "1.00 KiB"),
+            (1536, "1.50 KiB"),
+            (3 * MiB, "3.00 MiB"),
+            (2.5 * GiB, "2.50 GiB"),
+            (-1 * MiB, "-1.00 MiB"),
+        ],
+    )
+    def test_examples(self, value, expected):
+        assert format_bytes(value) == expected
+
+
+class TestParseBytes:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("512 MiB", 512 * MiB),
+            ("2GiB", 2 * GiB),
+            ("1.5 kb", 1500),
+            ("100", 100.0),
+            ("0 B", 0.0),
+        ],
+    )
+    def test_examples(self, text, expected):
+        assert parse_bytes(text) == pytest.approx(expected)
+
+    @pytest.mark.parametrize("bad", ["", "MiB", "12 parsecs", "x GiB"])
+    def test_rejects_garbage(self, bad):
+        with pytest.raises(ValueError):
+            parse_bytes(bad)
+
+    @given(st.floats(min_value=0, max_value=1e15, allow_nan=False))
+    def test_roundtrip_via_binary_suffix(self, n):
+        # format -> parse must recover the value within rendering precision.
+        text = format_bytes(n)
+        recovered = parse_bytes(text)
+        assert recovered == pytest.approx(n, rel=5e-3, abs=1.0)
+
+
+class TestFormatSeconds:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (7200, "2.00 h"),
+            (90, "1.50 min"),
+            (2.5, "2.50 s"),
+            (0.25, "250.00 ms"),
+            (2e-5, "20.00 us"),
+            (-90, "-1.50 min"),
+        ],
+    )
+    def test_examples(self, value, expected):
+        assert format_seconds(value) == expected

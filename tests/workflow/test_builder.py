@@ -1,0 +1,137 @@
+"""Tests for the WorkflowBuilder programming model."""
+
+import pytest
+
+from repro.core.actions import Placement
+from repro.core.mechanisms import Layer
+from repro.core.preferences import Objective
+from repro.errors import WorkflowError
+from repro.hpc.systems import intrepid, titan
+from repro.workflow.builder import WorkflowBuilder
+from repro.workflow.config import Mode
+from repro.workload.synthetic import SyntheticAMRConfig, synthetic_amr_trace
+
+
+def trace(steps=8):
+    return synthetic_amr_trace(
+        SyntheticAMRConfig(steps=steps, nranks=64, base_cells=2e7,
+                           sim_cost_per_cell=1.0, seed=0)
+    )
+
+
+class TestBuild:
+    def test_minimal_build(self):
+        config, t = (
+            WorkflowBuilder()
+            .on(titan(), sim_cores=1024)
+            .workload(trace())
+            .adapt("middleware")
+            .build()
+        )
+        assert config.mode is Mode.ADAPTIVE_MIDDLEWARE
+        assert config.sim_cores == 1024
+        assert config.staging_cores == 64  # default 16:1
+        assert len(t) == 8
+
+    def test_staging_ratio(self):
+        config, _ = (
+            WorkflowBuilder()
+            .on(titan(), sim_cores=1024, staging_ratio=8)
+            .workload(trace())
+            .adapt("global")
+            .build()
+        )
+        assert config.staging_cores == 128
+
+    def test_explicit_staging_cores(self):
+        config, _ = (
+            WorkflowBuilder()
+            .on(intrepid(), sim_cores=4096, staging_cores=256)
+            .workload(trace())
+            .adapt("resource")
+            .build()
+        )
+        assert config.staging_cores == 256
+        assert config.spec.name == "intrepid"
+
+    def test_both_staging_args_rejected(self):
+        with pytest.raises(WorkflowError):
+            WorkflowBuilder().on(titan(), sim_cores=64, staging_cores=4,
+                                 staging_ratio=16)
+
+    def test_underspecified_lists_whats_missing(self):
+        with pytest.raises(WorkflowError, match=r"\.on\(.*\.adapt\("):
+            WorkflowBuilder().build()
+
+    def test_unknown_mode_and_objective_rejected(self):
+        builder = WorkflowBuilder().on(titan(), sim_cores=64)
+        with pytest.raises(WorkflowError, match="unknown adaptation mode"):
+            builder.adapt("telepathy")
+        with pytest.raises(WorkflowError, match="unknown objective"):
+            builder.objective("win")
+
+    def test_synthetic_workload_inherits_rank_count(self):
+        _, t = (
+            WorkflowBuilder()
+            .on(titan(), sim_cores=512)
+            .synthetic_workload(steps=5, base_cells=1e6, seed=3)
+            .adapt("static_insitu")
+            .build()
+        )
+        assert t.nranks == 512
+
+    def test_synthetic_before_on_rejected(self):
+        with pytest.raises(WorkflowError):
+            WorkflowBuilder().synthetic_workload(steps=5, base_cells=1e6)
+
+    def test_hints_and_objective_propagate(self):
+        config, _ = (
+            WorkflowBuilder()
+            .on(titan(), sim_cores=256)
+            .workload(trace())
+            .objective(Objective.MINIMIZE_DATA_MOVEMENT)
+            .downsample_hints((1, (2, 4)), (5, (2, 4, 8)))
+            .monitor_every(2)
+            .adapt("global")
+            .hybrid()
+            .estimator_bias(2.0)
+            .build()
+        )
+        assert config.preferences.objective is Objective.MINIMIZE_DATA_MOVEMENT
+        assert config.hints.factors_for_step(6) == (2, 4, 8)
+        assert config.hints.monitor_interval == 2
+        assert config.hybrid_placement
+        assert config.estimator_bias == 2.0
+
+
+class TestRun:
+    def test_end_to_end_run(self):
+        result = (
+            WorkflowBuilder()
+            .on(titan(), sim_cores=1024)
+            .workload(trace(steps=10))
+            .analysis(cost_per_cell=0.035)
+            .adapt("middleware")
+            .run()
+        )
+        assert result.end_to_end_seconds > 0
+        assert all(m.analysis_done_at is not None for m in result.steps)
+
+    def test_objective_changes_behaviour(self):
+        def run(objective):
+            return (
+                WorkflowBuilder()
+                .on(titan(), sim_cores=1024)
+                .workload(trace(steps=10))
+                .analysis(cost_per_cell=0.035)
+                .objective(objective)
+                .adapt("global")
+                .run()
+            )
+
+        tts = run("minimize_time_to_solution")
+        movement = run("minimize_data_movement")
+        assert movement.data_moved_bytes <= tts.data_moved_bytes
+        assert movement.placement_counts()[Placement.IN_SITU] >= (
+            tts.placement_counts()[Placement.IN_SITU]
+        )

@@ -1,0 +1,100 @@
+"""Unit tests for workflow metrics and Table 2 histogram logic."""
+
+import numpy as np
+import pytest
+
+from repro.core.actions import Placement
+from repro.errors import WorkflowError
+from repro.workflow.metrics import StepMetrics, WorkflowResult, core_usage_histogram
+
+
+def metric(step=1, placement=Placement.IN_TRANSIT, cores=64, done=10.0,
+           data_full=100.0, data_out=100.0, insitu=0.0):
+    return StepMetrics(
+        step=step,
+        sim_seconds=5.0,
+        factor=1,
+        placement=placement,
+        staging_cores=cores,
+        data_bytes_full=data_full,
+        data_bytes_out=data_out,
+        insitu_seconds=insitu,
+        block_seconds=0.0,
+        analysis_done_at=done,
+    )
+
+
+def result(steps, end=100.0, sim=90.0, total_cores=64):
+    return WorkflowResult(
+        mode="test", steps=steps, end_to_end_seconds=end,
+        total_sim_seconds=sim, staging_total_cores=total_cores,
+    )
+
+
+class TestWorkflowResult:
+    def test_overhead_derivations(self):
+        r = result([metric()], end=110.0, sim=100.0)
+        assert r.overhead_seconds == pytest.approx(10.0)
+        assert r.overhead_fraction == pytest.approx(0.1)
+
+    def test_overhead_fraction_zero_sim(self):
+        r = result([], end=0.0, sim=0.0)
+        assert r.overhead_fraction == 0.0
+
+    def test_placement_counts(self):
+        r = result([
+            metric(1, Placement.IN_SITU),
+            metric(2, Placement.IN_TRANSIT),
+            metric(3, Placement.IN_TRANSIT),
+        ])
+        counts = r.placement_counts()
+        assert counts[Placement.IN_SITU] == 1
+        assert counts[Placement.IN_TRANSIT] == 2
+
+    def test_staging_cores_series(self):
+        r = result([metric(1, cores=10), metric(2, cores=20)])
+        np.testing.assert_array_equal(r.staging_cores_series(), [10, 20])
+
+    def test_validate_incomplete_analysis(self):
+        r = result([metric(done=None)])
+        with pytest.raises(WorkflowError):
+            r.validate()
+
+    def test_validate_end_before_sim(self):
+        r = result([metric()], end=50.0, sim=90.0)
+        with pytest.raises(WorkflowError):
+            r.validate()
+
+    def test_validate_data_grew(self):
+        r = result([metric(data_full=10.0, data_out=20.0)])
+        with pytest.raises(WorkflowError):
+            r.validate()
+
+
+class TestCoreUsageHistogram:
+    def test_bucket_edges(self):
+        steps = [
+            metric(1, cores=64),   # 100%
+            metric(2, cores=48),   # 75%
+            metric(3, cores=32),   # 50%
+            metric(4, cores=31),   # <50%
+            metric(5, cores=63),   # >=75% bucket? 63/64 = 98.4% -> 75% bucket
+        ]
+        buckets = core_usage_histogram(result(steps), preallocated=64)
+        assert buckets["100%"] == 1
+        assert buckets["75%"] == 2
+        assert buckets["50%"] == 1
+        assert buckets["<50%"] == 1
+
+    def test_insitu_steps_excluded(self):
+        steps = [metric(1, Placement.IN_SITU, cores=64), metric(2, cores=64)]
+        buckets = core_usage_histogram(result(steps), preallocated=64)
+        assert sum(buckets.values()) == 1
+
+    def test_default_prealloc_from_result(self):
+        r = result([metric(cores=32)], total_cores=64)
+        assert core_usage_histogram(r)["50%"] == 1
+
+    def test_invalid_prealloc(self):
+        with pytest.raises(WorkflowError):
+            core_usage_histogram(result([metric()]), preallocated=0)

@@ -1,0 +1,98 @@
+"""Tests for the post-processing baseline and the energy model."""
+
+import pytest
+
+from repro.core.actions import Placement
+from repro.hpc.systems import titan
+from repro.workflow.config import Mode, WorkflowConfig
+from repro.workflow.driver import run_workflow
+from repro.workload.synthetic import SyntheticAMRConfig, synthetic_amr_trace
+
+
+def trace(steps=12, seed=0):
+    return synthetic_amr_trace(
+        SyntheticAMRConfig(steps=steps, nranks=64, base_cells=2e7,
+                           sim_cost_per_cell=1.0, growth=1.5,
+                           analysis_growth_exponent=0.3, seed=seed)
+    )
+
+
+def config(mode, **kw):
+    return WorkflowConfig(mode=mode, sim_cores=1024, staging_cores=64,
+                          spec=titan(), analysis_cost_per_cell=0.035, **kw)
+
+
+class TestPostProcessing:
+    def test_all_steps_marked_post_process(self):
+        result = run_workflow(config(Mode.POST_PROCESSING), trace())
+        counts = result.placement_counts()
+        assert counts[Placement.POST_PROCESS] == 12
+        assert counts[Placement.IN_SITU] == 0
+
+    def test_pfs_traffic_round_trips_all_data(self):
+        t = trace()
+        result = run_workflow(config(Mode.POST_PROCESSING), t)
+        assert result.pfs_bytes_written == pytest.approx(t.total_data_bytes)
+        assert result.pfs_bytes_read == pytest.approx(t.total_data_bytes)
+
+    def test_analyses_complete_after_simulation(self):
+        result = run_workflow(config(Mode.POST_PROCESSING), trace())
+        sim_end = sum(m.sim_seconds + m.block_seconds for m in result.steps)
+        for metric in result.steps:
+            assert metric.analysis_done_at >= sim_end - 1e-9
+
+    def test_writes_block_the_simulation(self):
+        result = run_workflow(config(Mode.POST_PROCESSING), trace())
+        assert all(m.block_seconds > 0 for m in result.steps)
+
+    def test_simulation_time_analysis_beats_post_processing(self):
+        """The paper's opening claim, now runnable."""
+        t = trace(steps=15)
+        post = run_workflow(config(Mode.POST_PROCESSING), t)
+        for mode in (Mode.STATIC_INSITU, Mode.ADAPTIVE_MIDDLEWARE):
+            simtime = run_workflow(config(mode), t)
+            assert simtime.end_to_end_seconds < post.end_to_end_seconds
+            assert simtime.overhead_seconds < post.overhead_seconds
+
+    def test_no_staging_ingest(self):
+        result = run_workflow(config(Mode.POST_PROCESSING), trace())
+        assert result.data_moved_bytes == 0.0
+
+
+class TestEnergyModel:
+    def test_breakdown_sums_to_total(self):
+        result = run_workflow(config(Mode.ADAPTIVE_MIDDLEWARE), trace())
+        assert sum(result.energy_breakdown.values()) == pytest.approx(
+            result.energy_joules
+        )
+
+    def test_all_components_nonnegative(self):
+        for mode in Mode:
+            result = run_workflow(config(mode), trace(steps=8))
+            assert result.energy_joules > 0
+            assert all(v >= 0 for v in result.energy_breakdown.values())
+
+    def test_sim_compute_dominates(self):
+        # 1024 simulation cores against 64 staging cores: the simulation's
+        # compute draw dominates any configuration.
+        result = run_workflow(config(Mode.STATIC_INTRANSIT), trace())
+        assert (result.energy_breakdown["sim_compute"]
+                > 0.5 * result.energy_joules)
+
+    def test_post_processing_costs_more_energy(self):
+        t = trace(steps=15)
+        post = run_workflow(config(Mode.POST_PROCESSING), t)
+        adaptive = run_workflow(config(Mode.ADAPTIVE_MIDDLEWARE), t)
+        assert post.energy_joules > adaptive.energy_joules
+
+    def test_data_movement_energy_tracks_bytes(self):
+        t = trace()
+        intransit = run_workflow(config(Mode.STATIC_INTRANSIT), t)
+        insitu = run_workflow(config(Mode.STATIC_INSITU), t)
+        assert (intransit.energy_breakdown["data_movement"]
+                > insitu.energy_breakdown["data_movement"])
+
+    def test_energy_deterministic(self):
+        a = run_workflow(config(Mode.GLOBAL), trace())
+        b = run_workflow(config(Mode.GLOBAL), trace())
+        assert a.energy_joules == b.energy_joules

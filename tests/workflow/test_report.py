@@ -1,0 +1,70 @@
+"""Tests for result serialization and comparisons."""
+
+import pytest
+
+from repro.errors import WorkflowError
+from repro.hpc.systems import titan
+from repro.workflow.config import Mode, WorkflowConfig
+from repro.workflow.driver import run_workflow
+from repro.workflow.report import compare, result_from_json, result_to_json
+from repro.workload.synthetic import SyntheticAMRConfig, synthetic_amr_trace
+
+
+@pytest.fixture(scope="module")
+def results():
+    trace = synthetic_amr_trace(
+        SyntheticAMRConfig(steps=10, nranks=64, base_cells=2e7,
+                           sim_cost_per_cell=1.0, growth=1.5, seed=0)
+    )
+    out = {}
+    for mode in (Mode.STATIC_INSITU, Mode.ADAPTIVE_MIDDLEWARE):
+        config = WorkflowConfig(mode=mode, sim_cores=1024, staging_cores=64,
+                                spec=titan(), analysis_cost_per_cell=0.035)
+        out[mode] = run_workflow(config, trace)
+    return out
+
+
+class TestJsonRoundtrip:
+    def test_roundtrip_preserves_everything(self, results):
+        original = results[Mode.ADAPTIVE_MIDDLEWARE]
+        restored = result_from_json(result_to_json(original))
+        assert restored.mode == original.mode
+        assert restored.end_to_end_seconds == original.end_to_end_seconds
+        assert restored.energy_joules == original.energy_joules
+        assert len(restored.steps) == len(original.steps)
+        for a, b in zip(original.steps, restored.steps):
+            assert a.placement == b.placement
+            assert a.analysis_done_at == b.analysis_done_at
+        restored.validate()
+
+    def test_file_roundtrip(self, results, tmp_path):
+        path = tmp_path / "run.json"
+        result_to_json(results[Mode.STATIC_INSITU], path)
+        restored = result_from_json(path)
+        assert restored.mode == "static_insitu"
+
+    def test_garbage_rejected(self):
+        with pytest.raises(WorkflowError):
+            result_from_json("this is not json {")
+        with pytest.raises(WorkflowError):
+            result_from_json('{"mode": "x"}')
+
+
+class TestCompare:
+    def test_improvements_positive_for_better_candidate(self, results):
+        report = compare(results[Mode.STATIC_INSITU],
+                         results[Mode.ADAPTIVE_MIDDLEWARE])
+        assert report["overhead_cut_pct"] > 0
+        assert report["end_to_end_cut_pct"] > 0
+
+    def test_self_comparison_is_zero(self, results):
+        r = results[Mode.STATIC_INSITU]
+        report = compare(r, r)
+        assert report["overhead_cut_pct"] == pytest.approx(0.0)
+        assert report["utilization_gain_pts"] == pytest.approx(0.0)
+
+    def test_zero_baseline_handled(self, results):
+        insitu = results[Mode.STATIC_INSITU]  # moves zero bytes
+        adaptive = results[Mode.ADAPTIVE_MIDDLEWARE]
+        report = compare(insitu, adaptive)
+        assert report["data_movement_cut_pct"] == 0.0

@@ -1,0 +1,58 @@
+"""Tests for workload trace persistence."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.workload.io import read_trace, write_trace
+from repro.workload.synthetic import SyntheticAMRConfig, synthetic_amr_trace
+
+
+@pytest.fixture()
+def trace():
+    return synthetic_amr_trace(
+        SyntheticAMRConfig(steps=12, nranks=16, base_cells=1e5, seed=4)
+    )
+
+
+class TestTraceRoundtrip:
+    def test_exact_roundtrip(self, trace, tmp_path):
+        path = tmp_path / "trace.npz"
+        write_trace(trace, path)
+        back = read_trace(path)
+        assert back.name == trace.name
+        assert back.ndim == trace.ndim
+        assert back.nranks == trace.nranks
+        assert len(back) == len(trace)
+        for a, b in zip(trace, back):
+            assert a.step == b.step
+            assert a.cells == b.cells
+            assert a.sim_work == b.sim_work
+            assert a.analysis_intensity == b.analysis_intensity
+            np.testing.assert_array_equal(a.rank_bytes, b.rank_bytes)
+
+    def test_workflow_identical_from_loaded_trace(self, trace, tmp_path):
+        from repro.hpc.systems import titan
+        from repro.workflow.config import Mode, WorkflowConfig
+        from repro.workflow.driver import run_workflow
+
+        path = tmp_path / "trace.npz"
+        write_trace(trace, path)
+        config = WorkflowConfig(mode=Mode.ADAPTIVE_MIDDLEWARE, sim_cores=256,
+                                staging_cores=16, spec=titan(),
+                                analysis_cost_per_cell=0.05)
+        a = run_workflow(config, trace)
+        b = run_workflow(config, read_trace(path))
+        assert a.end_to_end_seconds == b.end_to_end_seconds
+        assert a.data_moved_bytes == b.data_moved_bytes
+
+    def test_not_a_trace_rejected(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez(path, whatever=np.zeros(3))
+        with pytest.raises(TraceError):
+            read_trace(path)
+
+    def test_invalid_trace_rejected_at_write(self, trace, tmp_path):
+        trace.steps[3].step = 99  # break contiguity
+        with pytest.raises(TraceError):
+            write_trace(trace, tmp_path / "bad.npz")
