@@ -7,6 +7,13 @@ Usage::
     python -m repro table2
     python -m repro ablations
     python -m repro all
+    python -m repro trace --steps 20 --jsonl trace.jsonl
+
+``trace`` is the observability workflow: it replays the quickstart
+workload with a :class:`~repro.observability.Tracer` and
+:class:`~repro.observability.MetricsRegistry` injected, prints the
+per-step decision timeline and the sim-vs-staging occupancy Gantt, and
+optionally writes the full event stream as JSON Lines.
 """
 
 from __future__ import annotations
@@ -14,8 +21,12 @@ from __future__ import annotations
 import argparse
 import sys
 from collections.abc import Callable
+from pathlib import Path
 
-__all__ = ["main"]
+__all__ = ["SUBCOMMANDS", "main"]
+
+#: Non-experiment subcommands (the docs-consistency test keys off this).
+SUBCOMMANDS = ("list", "all", "trace")
 
 
 def _fig1() -> str:
@@ -106,14 +117,93 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[], str]]] = {
 }
 
 
+def _trace_command(argv: list[str]) -> int:
+    """The ``repro trace`` subcommand: an instrumented quickstart replay."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro trace",
+        description="Replay the quickstart workload with cross-layer "
+        "tracing enabled and render the decision timeline.",
+    )
+    parser.add_argument("--mode", default="global",
+                        choices=[m.value for m in _trace_modes()],
+                        help="execution mode (default: global)")
+    parser.add_argument("--steps", type=int, default=20,
+                        help="workload length in steps (default: 20)")
+    parser.add_argument("--seed", type=int, default=42,
+                        help="synthetic workload seed (default: 42)")
+    parser.add_argument("--jsonl", metavar="PATH", default=None,
+                        help="also write the raw event stream as JSON Lines")
+    parser.add_argument("--width", type=int, default=72,
+                        help="Gantt width in columns (default: 72)")
+    args = parser.parse_args(argv)
+
+    from repro.hpc.systems import titan
+    from repro.observability import (
+        MetricsRegistry,
+        Tracer,
+        decision_timeline,
+        occupancy_gantt,
+    )
+    from repro.workflow import Mode, WorkflowConfig, run_workflow
+    from repro.workload import SyntheticAMRConfig, synthetic_amr_trace
+
+    trace = synthetic_amr_trace(
+        SyntheticAMRConfig(
+            steps=args.steps,
+            nranks=1024,
+            base_cells=5e7,
+            sim_cost_per_cell=8.0,
+            growth=2.0,
+            analysis_growth_exponent=0.5,
+            seed=args.seed,
+        ),
+        name="trace-quickstart",
+    )
+    config = WorkflowConfig(
+        mode=Mode(args.mode),
+        sim_cores=1024,
+        staging_cores=64,
+        spec=titan(),
+        analysis_cost_per_cell=0.45,
+    )
+    tracer = Tracer()
+    metrics = MetricsRegistry()
+    result = run_workflow(config, trace, tracer=tracer, metrics=metrics)
+
+    print(f"mode={config.mode.value}  steps={len(trace)}  "
+          f"end-to-end={result.end_to_end_seconds:.2f}s  "
+          f"overhead={result.overhead_seconds:.2f}s")
+    print("\n## Decision timeline " + "#" * 50)
+    print(decision_timeline(tracer))
+    print("\n## Occupancy (sim vs in-transit) " + "#" * 38)
+    print(occupancy_gantt(tracer, width=args.width))
+    print("\n## Metrics " + "#" * 60)
+    print(metrics.render())
+    if args.jsonl is not None:
+        Path(args.jsonl).parent.mkdir(parents=True, exist_ok=True)
+        tracer.to_jsonl(args.jsonl)
+        print(f"\nwrote {len(tracer)} events to {args.jsonl}")
+    return 0
+
+
+def _trace_modes():
+    from repro.workflow import Mode
+
+    return list(Mode)
+
+
 def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "trace":
+        return _trace_command(argv[1:])
+
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate the experiments of Jin et al., SC'13.",
     )
     parser.add_argument(
         "experiment",
-        help="experiment id (see 'list'), 'all', or 'list'",
+        help="experiment id (see 'list'), 'all', 'list', or 'trace'",
     )
     args = parser.parse_args(argv)
 
@@ -121,6 +211,8 @@ def main(argv: list[str] | None = None) -> int:
         width = max(len(name) for name in EXPERIMENTS)
         for name, (description, _fn) in EXPERIMENTS.items():
             print(f"{name.ljust(width)}  {description}")
+        print(f"{'trace'.ljust(width)}  instrumented replay: decision "
+              "timeline + occupancy Gantt (see 'trace --help')")
         return 0
 
     if args.experiment == "all":

@@ -35,7 +35,7 @@ from repro.analysis.entropy import (
 )
 from repro.analysis.isosurface import extract_isosurface, surface_area, surface_stats
 from repro.analysis.marching_squares import extract_contours, contour_length
-from repro.analysis.statistics import descriptive_statistics
+from repro.analysis.statistics import descriptive_statistics, merge_statistics
 from repro.analysis.fidelity import reconstruction_error, isosurface_fidelity
 from repro.analysis.subset import BlockRangeIndex, query_range
 
@@ -50,6 +50,7 @@ __all__ = [
     "decompress_field",
     "select_tolerance",
     "descriptive_statistics",
+    "merge_statistics",
     "downsample_mean",
     "downsample_memory_cost",
     "downsample_stride",

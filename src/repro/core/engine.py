@@ -34,6 +34,9 @@ from repro.core.policies.resource import ResourcePolicy
 from repro.core.preferences import UserHints, UserPreferences
 from repro.core.state import OperationalState
 from repro.errors import PolicyError
+from repro.observability.events import ADAPT_ACTION, ADAPT_DECISION
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.tracer import Tracer
 
 __all__ = ["AdaptationDecision", "AdaptationEngine"]
 
@@ -65,6 +68,12 @@ class AdaptationEngine:
         Explicit layer set for *local* adaptation (e.g.
         ``{Layer.MIDDLEWARE}``).  ``None`` selects *global* mode: the
         cross-layer root-leaf plan derived from ``preferences.objective``.
+    tracer, metrics:
+        Optional observability hooks.  When injected, every call to
+        :meth:`adapt` emits an ``adapt.decision`` event carrying the
+        inputs the plan ran on (estimated backlog, in-situ/in-transit
+        times) plus one ``adapt.action`` event per layer with the
+        policy's own reasoning.
     """
 
     def __init__(
@@ -73,6 +82,8 @@ class AdaptationEngine:
         hints: UserHints | None = None,
         layers: set[Layer] | None = None,
         hybrid_placement: bool = False,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
     ):
         self.preferences = preferences or UserPreferences()
         self.hints = hints or UserHints()
@@ -95,6 +106,8 @@ class AdaptationEngine:
             order = [Layer.APPLICATION, Layer.RESOURCE, Layer.MIDDLEWARE]
             self.plan = [layer for layer in order if layer in layers]
             self.mode = "local"
+        self.tracer = tracer
+        self.metrics = metrics
         self.decisions: list[AdaptationDecision] = []
 
     def adapt(self, state: OperationalState) -> AdaptationDecision:
@@ -131,4 +144,37 @@ class AdaptationEngine:
             else:  # pragma: no cover - enum is closed
                 raise PolicyError(f"unknown layer {layer}")
         self.decisions.append(decision)
+        if self.metrics is not None:
+            self.metrics.counter("engine.decisions").inc()
+        if self.tracer is not None and self.tracer.enabled:
+            self.tracer.emit(
+                ADAPT_DECISION,
+                step=state.step,
+                mode=self.mode,
+                plan=[layer.value for layer in self.plan],
+                factor=decision.factor,
+                placement=(
+                    decision.placement.value if decision.placement else None
+                ),
+                insitu_fraction=decision.insitu_fraction,
+                staging_cores=decision.staging_cores,
+                # The inputs the plan ran on (pre-propagation snapshot).
+                data_bytes=state.data_bytes,
+                analysis_work=state.analysis_work,
+                est_insitu_time=state.est_insitu_time,
+                est_intransit_time=state.est_intransit_time,
+                est_intransit_remaining=state.est_intransit_remaining,
+                est_next_sim_time=state.est_next_sim_time,
+                staging_busy=state.staging_busy,
+                insitu_memory_ok=state.insitu_memory_ok,
+                intransit_memory_ok=state.intransit_memory_ok,
+            )
+            for layer, action in zip(self.plan, decision.actions):
+                self.tracer.emit(
+                    ADAPT_ACTION,
+                    step=state.step,
+                    layer=layer.value,
+                    action=type(action).__name__,
+                    reason=action.reason,
+                )
         return decision

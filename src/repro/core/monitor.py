@@ -18,12 +18,21 @@ from __future__ import annotations
 from repro.core.estimators import RateEstimator, TransferEstimator
 from repro.core.state import OperationalState
 from repro.errors import PolicyError
+from repro.observability.events import MONITOR_SAMPLE
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.tracer import Tracer
 
 __all__ = ["Monitor"]
 
 
 class Monitor:
-    """Collects observations and produces operational-state snapshots."""
+    """Collects observations and produces operational-state snapshots.
+
+    ``tracer`` and ``metrics`` are optional observability hooks: when
+    injected, every snapshot emits a ``monitor.sample`` event and the
+    observation intake publishes counters/timers; when left ``None``
+    (the default) instrumentation costs one ``is not None`` test.
+    """
 
     def __init__(
         self,
@@ -33,6 +42,8 @@ class Monitor:
         interval: int = 1,
         analysis_rate_hint: float | None = None,
         estimate_bias: float = 1.0,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
     ):
         if interval < 1:
             raise PolicyError(f"interval must be >= 1, got {interval}")
@@ -49,6 +60,8 @@ class Monitor:
         # analysis-time estimate handed to the policies is multiplied by
         # this factor (1.0 = unbiased).
         self.estimate_bias = float(estimate_bias)
+        self.tracer = tracer
+        self.metrics = metrics
         self.history: list[OperationalState] = []
 
     # -- sampling cadence -----------------------------------------------------
@@ -69,18 +82,26 @@ class Monitor:
             self._sim_time_ema = (
                 (1 - self._alpha) * self._sim_time_ema + self._alpha * seconds
             )
+        if self.metrics is not None:
+            self.metrics.timer("monitor.sim_step_seconds").observe(seconds)
 
     def observe_insitu(self, work_units: float, cores: int, seconds: float) -> None:
         """Record a completed in-situ analysis."""
         self.insitu_rate.observe(work_units, cores, seconds)
+        if self.metrics is not None:
+            self.metrics.counter("monitor.insitu_observations").inc()
 
     def observe_intransit(self, work_units: float, cores: int, seconds: float) -> None:
         """Record a completed in-transit analysis."""
         self.intransit_rate.observe(work_units, cores, seconds)
+        if self.metrics is not None:
+            self.metrics.counter("monitor.intransit_observations").inc()
 
     def observe_transfer(self, nbytes: float, seconds: float) -> None:
         """Record a completed staging transfer."""
         self.transfer.observe(nbytes, seconds)
+        if self.metrics is not None:
+            self.metrics.counter("monitor.transfer_observations").inc()
 
     # -- estimates -------------------------------------------------------------
 
@@ -157,4 +178,22 @@ class Monitor:
             ),
         )
         self.history.append(state)
+        if self.metrics is not None:
+            self.metrics.counter("monitor.samples").inc()
+        if self.tracer is not None and self.tracer.enabled:
+            self.tracer.emit(
+                MONITOR_SAMPLE,
+                step=step,
+                data_bytes=data_bytes,
+                analysis_work=analysis_work,
+                staging_active_cores=staging_active_cores,
+                staging_busy=staging_busy,
+                est_insitu_time=state.est_insitu_time,
+                est_intransit_time=state.est_intransit_time,
+                est_intransit_remaining=est_intransit_remaining,
+                est_next_sim_time=state.est_next_sim_time,
+                est_send_time=state.est_send_time,
+                insitu_memory_ok=insitu_memory_ok,
+                intransit_memory_ok=intransit_memory_ok,
+            )
         return state

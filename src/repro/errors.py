@@ -40,3 +40,7 @@ class WorkflowError(ReproError):
 
 class TraceError(ReproError):
     """Raised for malformed or inconsistent workload traces."""
+
+
+class ObservabilityError(ReproError):
+    """Raised by the tracing and metrics subsystem."""

@@ -22,7 +22,7 @@ from repro.hpc.event import (
 from repro.hpc.machine import CoreAllocation, Machine, MemoryPool, Node, Partition
 from repro.hpc.network import Link, Network, Transfer
 from repro.hpc.resources import Resource, Store
-from repro.hpc.systems import SystemSpec, intrepid, titan
+from repro.hpc.systems import SystemSpec, build_workflow_machine, intrepid, titan
 
 __all__ = [
     "AllOf",
@@ -43,6 +43,7 @@ __all__ = [
     "SystemSpec",
     "Timeout",
     "Transfer",
+    "build_workflow_machine",
     "intrepid",
     "titan",
 ]

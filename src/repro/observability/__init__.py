@@ -1,0 +1,50 @@
+"""Structured observability: cross-layer event tracing and metrics.
+
+The paper's Monitor "captures runtime status information at the
+different layers"; this package makes that capture *inspectable*.  It
+provides the measurement surface every layer of the reproduction
+publishes into:
+
+- :class:`Tracer` -- typed, timestamped :class:`TraceEvent` records
+  (step boundaries, monitor samples, adaptation decisions with their
+  inputs, staging ingest/drain, stalls) in a bounded ring buffer, with
+  JSONL export (:meth:`Tracer.to_jsonl` / :func:`read_jsonl`);
+- :class:`MetricsRegistry` -- named :class:`Counter` / :class:`Gauge` /
+  :class:`EmaTimer` instruments;
+- :func:`decision_timeline` / :func:`occupancy_gantt` -- human-readable
+  renderings of a trace (the ``repro trace`` CLI's output).
+
+Instrumentation is injected: the Monitor, Adaptation Engine, staging
+area and workflow driver all accept optional ``tracer=`` / ``metrics=``
+arguments and publish only when given one, so a run without observers
+pays a single ``is not None`` test per would-be event.
+
+:data:`EVENT_KINDS` and :data:`METRIC_NAMES` are the closed registries
+of everything the built-in instrumentation can emit; see
+``docs/observability.md`` for the schema and a worked example.
+"""
+
+from repro.observability.events import EVENT_KINDS, TraceEvent
+from repro.observability.metrics import (
+    METRIC_NAMES,
+    Counter,
+    EmaTimer,
+    Gauge,
+    MetricsRegistry,
+)
+from repro.observability.timeline import decision_timeline, occupancy_gantt
+from repro.observability.tracer import Tracer, read_jsonl
+
+__all__ = [
+    "Counter",
+    "EmaTimer",
+    "EVENT_KINDS",
+    "Gauge",
+    "METRIC_NAMES",
+    "MetricsRegistry",
+    "TraceEvent",
+    "Tracer",
+    "decision_timeline",
+    "occupancy_gantt",
+    "read_jsonl",
+]

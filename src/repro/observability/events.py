@@ -1,0 +1,107 @@
+"""The cross-layer trace event schema.
+
+A :class:`TraceEvent` is one typed, timestamped record of something the
+runtime did: a workflow step starting, the Monitor assembling a snapshot,
+the Adaptation Engine committing a decision (with the inputs it decided
+on), the staging area ingesting or draining a job, the simulation
+stalling on staging memory.  Timestamps are *simulated* seconds -- the
+same clock every other quantity in the reproduction uses -- so traces
+line up exactly with the metrics the paper reports.
+
+:data:`EVENT_KINDS` is the closed registry of event kinds the built-in
+instrumentation emits; ``docs/observability.md`` documents each one and
+the docs-consistency test keeps the two in sync.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+__all__ = [
+    "ADAPT_ACTION",
+    "ADAPT_DECISION",
+    "EVENT_KINDS",
+    "MONITOR_SAMPLE",
+    "RUN_END",
+    "RUN_START",
+    "SIM_STALL",
+    "STAGING_INGEST",
+    "STAGING_JOB_END",
+    "STAGING_JOB_START",
+    "STAGING_RESIZE",
+    "STAGING_SUBMIT",
+    "STEP_END",
+    "STEP_START",
+    "TraceEvent",
+]
+
+# -- event kinds ---------------------------------------------------------------
+
+RUN_START = "run.start"
+RUN_END = "run.end"
+STEP_START = "step.start"
+STEP_END = "step.end"
+SIM_STALL = "sim.stall"
+MONITOR_SAMPLE = "monitor.sample"
+ADAPT_DECISION = "adapt.decision"
+ADAPT_ACTION = "adapt.action"
+STAGING_SUBMIT = "staging.submit"
+STAGING_INGEST = "staging.ingest"
+STAGING_JOB_START = "staging.job_start"
+STAGING_JOB_END = "staging.job_end"
+STAGING_RESIZE = "staging.resize"
+
+#: Every kind the built-in instrumentation emits, with a one-line meaning.
+EVENT_KINDS: dict[str, str] = {
+    RUN_START: "a workflow run begins (mode, core counts, trace length)",
+    RUN_END: "a workflow run ends (end-to-end time, data moved)",
+    STEP_START: "a simulation step begins computing",
+    STEP_END: "a step's analysis was dispatched (placement, factor, costs)",
+    SIM_STALL: "the simulation blocked (staging memory full or PFS write)",
+    MONITOR_SAMPLE: "the Monitor assembled an OperationalState snapshot",
+    ADAPT_DECISION: "the Adaptation Engine committed a decision + its inputs",
+    ADAPT_ACTION: "one layer's action within a decision (with its reasoning)",
+    STAGING_SUBMIT: "a step's data was submitted for in-transit analysis",
+    STAGING_INGEST: "an asynchronous staging ingest transfer completed",
+    STAGING_JOB_START: "a staging job started service on the active cores",
+    STAGING_JOB_END: "a staging job finished and released its memory",
+    STAGING_RESIZE: "the resource layer resized the active staging cores",
+}
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One typed, timestamped record in a trace.
+
+    ``seq`` is the emission sequence number -- it totally orders events,
+    including simultaneous ones (the event kernel breaks time ties by
+    insertion order, and ``seq`` preserves exactly that order).
+    """
+
+    seq: int
+    ts: float
+    kind: str
+    step: int | None = None
+    fields: Mapping[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-ready representation (one JSONL line's payload)."""
+        return {
+            "seq": self.seq,
+            "ts": self.ts,
+            "kind": self.kind,
+            "step": self.step,
+            "fields": dict(self.fields),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "TraceEvent":
+        """Rebuild an event from :meth:`as_dict` output."""
+        return cls(
+            seq=int(payload["seq"]),
+            ts=float(payload["ts"]),
+            kind=str(payload["kind"]),
+            step=payload.get("step"),
+            fields=dict(payload.get("fields", {})),
+        )

@@ -1,0 +1,155 @@
+"""The metrics registry: counters, gauges and EMA timers.
+
+The quantitative companion to the tracer: where the tracer answers *why*
+(a decision's inputs and reasoning), the registry answers *how much* (how
+many decisions, how many bytes, what the smoothed service time is).  The
+same injection discipline applies -- components take ``metrics=None`` and
+publish only when a registry was injected, so the disabled path is one
+``is not None`` test per instrumentation point.
+
+Instruments are created lazily by name (``registry.counter("x")``), are
+idempotent (the same name returns the same instrument) and type-checked
+(reusing a counter name as a gauge is an error, not silent aliasing).
+:data:`METRIC_NAMES` registers every name the built-in instrumentation
+publishes; ``docs/observability.md`` documents each and the
+docs-consistency test keeps them in sync.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ObservabilityError
+
+__all__ = ["Counter", "EmaTimer", "Gauge", "METRIC_NAMES", "MetricsRegistry"]
+
+
+#: Every metric name the built-in instrumentation publishes.
+METRIC_NAMES: dict[str, str] = {
+    "workflow.steps": "counter: simulation steps completed",
+    "workflow.stall_seconds": "counter: seconds the simulation spent blocked",
+    "monitor.samples": "counter: OperationalState snapshots assembled",
+    "monitor.sim_step_seconds": "EMA timer: recent simulation step durations",
+    "monitor.insitu_observations": "counter: completed in-situ analyses observed",
+    "monitor.intransit_observations": "counter: completed in-transit analyses observed",
+    "monitor.transfer_observations": "counter: completed staging transfers observed",
+    "engine.decisions": "counter: adaptation decisions committed",
+    "staging.jobs_submitted": "counter: analysis jobs submitted to staging",
+    "staging.jobs_completed": "counter: analysis jobs drained by staging",
+    "staging.bytes_ingested": "counter: bytes shipped into staging memory",
+    "staging.service_seconds": "EMA timer: recent staging job service times",
+    "staging.memory_used": "gauge: staging memory currently held by jobs",
+    "staging.active_cores": "gauge: staging cores currently enabled",
+}
+
+
+class Counter:
+    """A monotonically increasing sum."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ObservabilityError(f"counter increment must be >= 0, got {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class EmaTimer:
+    """An exponentially weighted moving average of observed durations.
+
+    The same smoothing the Monitor's estimators use: the first
+    observation seeds the average, later ones blend in with weight
+    ``alpha``.  ``count`` and ``total`` keep the raw tallies.
+    """
+
+    __slots__ = ("alpha", "value", "count", "total")
+
+    def __init__(self, alpha: float = 0.3) -> None:
+        if not (0.0 < alpha <= 1.0):
+            raise ObservabilityError(f"alpha must be in (0, 1], got {alpha}")
+        self.alpha = float(alpha)
+        self.value = 0.0
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ObservabilityError(f"duration must be >= 0, got {seconds}")
+        if self.count == 0:
+            self.value = float(seconds)
+        else:
+            self.value = (1 - self.alpha) * self.value + self.alpha * seconds
+        self.count += 1
+        self.total += seconds
+
+
+class MetricsRegistry:
+    """Named instruments, created lazily and shared by name."""
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, Counter | Gauge | EmaTimer] = {}
+
+    def _get(self, name: str, kind: type) -> Counter | Gauge | EmaTimer:
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = kind()
+            self._instruments[name] = instrument
+        elif not isinstance(instrument, kind):
+            raise ObservabilityError(
+                f"metric {name!r} is a {type(instrument).__name__}, "
+                f"not a {kind.__name__}"
+            )
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)  # type: ignore[return-value]
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)  # type: ignore[return-value]
+
+    def timer(self, name: str, alpha: float = 0.3) -> EmaTimer:
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = EmaTimer(alpha)
+            self._instruments[name] = instrument
+        elif not isinstance(instrument, EmaTimer):
+            raise ObservabilityError(
+                f"metric {name!r} is a {type(instrument).__name__}, not an EmaTimer"
+            )
+        return instrument
+
+    def names(self) -> list[str]:
+        """Registered metric names, sorted."""
+        return sorted(self._instruments)
+
+    def as_dict(self) -> dict[str, float]:
+        """Current value of every instrument (EMA value for timers)."""
+        return {name: self._instruments[name].value for name in self.names()}
+
+    def render(self) -> str:
+        """A small fixed-width table of every instrument's value."""
+        if not self._instruments:
+            return "(no metrics recorded)"
+        width = max(len(name) for name in self._instruments)
+        lines = []
+        for name in self.names():
+            instrument = self._instruments[name]
+            value = instrument.value
+            text = f"{value:.6g}"
+            if isinstance(instrument, EmaTimer):
+                text += f" (n={instrument.count}, total={instrument.total:.6g})"
+            lines.append(f"{name.ljust(width)}  {text}")
+        return "\n".join(lines)

@@ -1,0 +1,138 @@
+"""Render traces for humans: decision timelines and occupancy Gantts.
+
+Two views of one trace, both plain text (the repo's output discipline):
+
+- :func:`decision_timeline` -- one row per ``adapt.decision`` event with
+  the inputs the engine decided on (backlog, estimated in-situ vs
+  in-transit time) and the policies' own reasoning, so a single decision
+  can be read end to end;
+- :func:`occupancy_gantt` -- the Fig.-4-style picture: simulation-core
+  occupancy (with stalls marked) over staging-core occupancy, on a
+  shared simulated-time axis.
+"""
+
+from __future__ import annotations
+
+from repro.observability.events import (
+    ADAPT_ACTION,
+    ADAPT_DECISION,
+    SIM_STALL,
+    STAGING_JOB_END,
+    STAGING_JOB_START,
+    STEP_END,
+    STEP_START,
+)
+from repro.observability.tracer import Tracer
+
+__all__ = ["decision_timeline", "occupancy_gantt"]
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3g}"
+    return str(value)
+
+
+def decision_timeline(tracer: Tracer) -> str:
+    """One row per adaptation decision: outputs, inputs, reasoning."""
+    decisions = tracer.events(kind=ADAPT_DECISION)
+    if not decisions:
+        return "(no adaptation decisions in trace)"
+    reasons: dict[int | None, list[str]] = {}
+    for action in tracer.events(kind=ADAPT_ACTION):
+        layer = action.fields.get("layer", "?")
+        reason = action.fields.get("reason", "")
+        if reason:
+            reasons.setdefault(action.step, []).append(f"[{layer}] {reason}")
+
+    headers = ["t(s)", "step", "factor", "placement", "M", "backlog(s)",
+               "T_insitu(s)", "T_intransit(s)"]
+    rows = []
+    for event in decisions:
+        f = event.fields
+        rows.append([
+            f"{event.ts:.2f}",
+            _fmt(event.step),
+            _fmt(f.get("factor") or 1),
+            _fmt(f.get("placement") or "-"),
+            _fmt(f.get("staging_cores") or "-"),
+            _fmt(f.get("est_intransit_remaining", 0.0)),
+            _fmt(f.get("est_insitu_time", 0.0)),
+            _fmt(f.get("est_intransit_time", 0.0)),
+        ])
+    widths = [max(len(h), max(len(r[i]) for r in rows))
+              for i, h in enumerate(headers)]
+    lines = ["  ".join(h.rjust(w) for h, w in zip(headers, widths)),
+             "  ".join("-" * w for w in widths)]
+    for event, row in zip(decisions, rows):
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+        for reason in reasons.get(event.step, []):
+            lines.append(" " * 4 + reason)
+    return "\n".join(lines)
+
+
+def _intervals(
+    tracer: Tracer, open_kind: str, close_kind: str, key
+) -> list[tuple[float, float]]:
+    """Pair open/close events by ``key`` into (start, end) intervals."""
+    pending: dict[object, float] = {}
+    out: list[tuple[float, float]] = []
+    paired = tracer.events(kind=open_kind) + tracer.events(kind=close_kind)
+    for event in sorted(paired, key=lambda e: e.seq):
+        k = key(event)
+        if event.kind == open_kind:
+            pending[k] = event.ts
+        else:
+            start = pending.pop(k, None)
+            if start is not None and event.ts > start:
+                out.append((start, event.ts))
+    return out
+
+
+def occupancy_gantt(tracer: Tracer, width: int = 72) -> str:
+    """Sim vs in-transit occupancy bars over the run (Fig. 4's picture).
+
+    ``=`` marks busy time, ``x`` marks simulation stalls (blocked on
+    staging memory or a collective PFS write), ``.`` marks idle.
+    """
+    events = tracer.events()
+    if not events:
+        return "(empty trace)"
+    t_end = max(e.ts for e in events)
+    if t_end <= 0:
+        return "(trace spans zero simulated time)"
+    width = max(10, int(width))
+    scale = width / t_end
+
+    sim_busy = _intervals(tracer, STEP_START, STEP_END, key=lambda e: e.step)
+    staging_busy = _intervals(
+        tracer, STAGING_JOB_START, STAGING_JOB_END,
+        key=lambda e: e.fields.get("job_id"),
+    )
+    stalls = [
+        (e.ts - e.fields.get("seconds", 0.0), e.ts)
+        for e in tracer.events(kind=SIM_STALL)
+        if e.fields.get("seconds", 0.0) > 0
+    ]
+
+    def bar(intervals: list[tuple[float, float]], overlay=None) -> str:
+        cells = ["."] * width
+        for start, end in intervals:
+            lo = min(width - 1, int(start * scale))
+            hi = min(width - 1, max(lo, int(end * scale - 1e-12)))
+            for i in range(lo, hi + 1):
+                cells[i] = "="
+        for start, end in overlay or []:
+            lo = min(width - 1, int(start * scale))
+            hi = min(width - 1, max(lo, int(end * scale - 1e-12)))
+            for i in range(lo, hi + 1):
+                cells[i] = "x"
+        return "".join(cells)
+
+    axis = f"0s{' ' * (width - 2 - len(f'{t_end:.1f}s'))}{t_end:.1f}s"
+    return "\n".join([
+        f"sim      |{bar(sim_busy, overlay=stalls)}|",
+        f"staging  |{bar(staging_busy)}|",
+        f"          {axis}",
+        "          = busy   x stalled   . idle",
+    ])

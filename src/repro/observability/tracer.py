@@ -1,0 +1,154 @@
+"""The Tracer: a bounded in-memory event sink with JSONL export.
+
+Components never construct a tracer themselves -- one is *injected*
+(``tracer=...``) into the Monitor, the Adaptation Engine, the staging
+area and the workflow driver.  When no tracer is injected (the default)
+instrumentation is a single ``is not None`` test; when a tracer is
+injected but disabled, the call sites also check :attr:`Tracer.enabled`
+so field construction is skipped entirely (and :meth:`Tracer.emit`
+returns on its first line as a backstop).  Either way tracing costs
+nothing measurable on the hot path.
+
+Events land in a ring buffer (``capacity`` newest events are kept; the
+``dropped`` counter records evictions) and can be exported as JSON Lines
+-- one event object per line -- the format ``repro trace`` writes and
+:func:`read_jsonl` parses back.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from pathlib import Path
+from typing import Any, Callable, Iterable
+
+from repro.errors import ObservabilityError
+from repro.observability.events import TraceEvent
+
+__all__ = ["Tracer", "read_jsonl"]
+
+
+def _json_default(value: Any) -> Any:
+    """Coerce non-JSON field values: numpy scalars unwrap, the rest repr."""
+    item = getattr(value, "item", None)
+    if callable(item):
+        return item()
+    return str(value)
+
+
+class Tracer:
+    """Collects :class:`TraceEvent` records in emission order.
+
+    Parameters
+    ----------
+    clock:
+        Zero-argument callable returning the current time.  The workflow
+        driver binds this to the event simulator's clock so timestamps
+        are simulated seconds; when unset, timestamps are 0.0 and the
+        ``seq`` field alone orders events.
+    capacity:
+        Ring-buffer size; the oldest events are evicted (and counted in
+        :attr:`dropped`) once it fills.
+    enabled:
+        When False, :meth:`emit` is a no-op returning ``None``.
+    """
+
+    def __init__(
+        self,
+        clock: Callable[[], float] | None = None,
+        capacity: int = 65536,
+        enabled: bool = True,
+    ):
+        if capacity < 1:
+            raise ObservabilityError(f"capacity must be >= 1, got {capacity}")
+        self.clock = clock
+        self.enabled = bool(enabled)
+        self.capacity = int(capacity)
+        self.dropped = 0
+        self._events: deque[TraceEvent] = deque(maxlen=self.capacity)
+        self._seq = 0
+
+    # -- recording ---------------------------------------------------------
+
+    def bind_clock(self, clock: Callable[[], float]) -> None:
+        """Attach (or replace) the time source for subsequent events."""
+        self.clock = clock
+
+    def emit(self, kind: str, step: int | None = None, **fields: Any) -> TraceEvent | None:
+        """Record one event; returns it, or ``None`` when disabled."""
+        if not self.enabled:
+            return None
+        event = TraceEvent(
+            seq=self._seq,
+            ts=self.clock() if self.clock is not None else 0.0,
+            kind=kind,
+            step=step,
+            fields=fields,
+        )
+        self._seq += 1
+        if len(self._events) == self.capacity:
+            self.dropped += 1
+        self._events.append(event)
+        return event
+
+    def clear(self) -> None:
+        """Discard all recorded events (sequence numbers keep counting)."""
+        self._events.clear()
+        self.dropped = 0
+
+    # -- reading -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def events(
+        self, kind: str | None = None, step: int | None = None
+    ) -> list[TraceEvent]:
+        """All retained events, optionally filtered by kind and/or step."""
+        out: Iterable[TraceEvent] = self._events
+        if kind is not None:
+            out = (e for e in out if e.kind == kind)
+        if step is not None:
+            out = (e for e in out if e.step == step)
+        return list(out)
+
+    def kinds_seen(self) -> set[str]:
+        """Distinct event kinds currently retained."""
+        return {e.kind for e in self._events}
+
+    # -- export ------------------------------------------------------------
+
+    def to_jsonl(self, path: str | Path | None = None) -> str:
+        """Serialize retained events as JSON Lines (optionally to ``path``)."""
+        text = "\n".join(
+            json.dumps(e.as_dict(), default=_json_default) for e in self._events
+        )
+        if text:
+            text += "\n"
+        if path is not None:
+            Path(path).write_text(text)
+        return text
+
+
+def read_jsonl(source: str | Path) -> list[TraceEvent]:
+    """Parse :meth:`Tracer.to_jsonl` output (text or a file path)."""
+    if isinstance(source, Path) or (
+        isinstance(source, str)
+        and "\n" not in source
+        and source.endswith((".jsonl", ".json"))
+    ):
+        text = Path(source).read_text()
+    else:
+        text = str(source)
+    events = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            payload = json.loads(line)
+            events.append(TraceEvent.from_dict(payload))
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+            raise ObservabilityError(
+                f"not a trace: line {lineno} is invalid ({exc})"
+            ) from exc
+    return events

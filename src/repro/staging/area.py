@@ -26,6 +26,15 @@ from repro.errors import StagingError
 from repro.hpc.event import Event, Simulator
 from repro.hpc.network import Network
 from repro.hpc.resources import Store
+from repro.observability.events import (
+    STAGING_INGEST,
+    STAGING_JOB_END,
+    STAGING_JOB_START,
+    STAGING_RESIZE,
+    STAGING_SUBMIT,
+)
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.tracer import Tracer
 
 __all__ = ["AnalysisJob", "StagingArea"]
 
@@ -79,6 +88,10 @@ class StagingArea:
         Cores initially enabled (resource adaptation may change this).
     memory_bytes:
         Staging memory for in-flight step data (Eq. 10's constraint).
+    tracer, metrics:
+        Optional observability hooks; when injected, submissions, ingest
+        completions, job service boundaries and core resizes emit
+        ``staging.*`` events and publish counters/gauges.
     """
 
     def __init__(
@@ -91,6 +104,8 @@ class StagingArea:
         memory_bytes: float = float("inf"),
         src_endpoint: str = "sim",
         dst_endpoint: str = "staging",
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
     ):
         if total_cores < 1:
             raise StagingError(f"need at least one staging core, got {total_cores}")
@@ -109,6 +124,8 @@ class StagingArea:
         self.memory_used = 0.0
         self.src = src_endpoint
         self.dst = dst_endpoint
+        self.tracer = tracer
+        self.metrics = metrics
 
         self._ids = itertools.count()
         self._queue: Store = Store(sim, name="staging-jobs")
@@ -140,9 +157,14 @@ class StagingArea:
             raise StagingError(
                 f"active core count {count} outside [1, {self.total_cores}]"
             )
+        previous = self._active_cores
         self._account_alloc()
         self._active_cores = int(count)
         self.core_history.append(_CoreSample(self.sim.now, count))
+        if self.metrics is not None:
+            self.metrics.gauge("staging.active_cores").set(count)
+        if self.tracer is not None and self.tracer.enabled and count != previous:
+            self.tracer.emit(STAGING_RESIZE, cores=count, previous=previous)
 
     def _account_alloc(self) -> None:
         now = self.sim.now
@@ -189,7 +211,29 @@ class StagingArea:
         )
         self._queued_work += work_units
         self._queue.put(job)
+        if self.metrics is not None:
+            self.metrics.counter("staging.jobs_submitted").inc()
+            self.metrics.counter("staging.bytes_ingested").inc(nbytes)
+            self.metrics.gauge("staging.memory_used").set(self.memory_used)
+        if self.tracer is not None and self.tracer.enabled:
+            self.tracer.emit(
+                STAGING_SUBMIT,
+                step=step,
+                job_id=job.job_id,
+                nbytes=nbytes,
+                work_units=work_units,
+                memory_used=self.memory_used,
+            )
+            job.ingest_done.add_callback(
+                lambda _evt, job=job: self._trace_ingest(job)
+            )
         return job
+
+    def _trace_ingest(self, job: AnalysisJob) -> None:
+        if self.tracer is not None and self.tracer.enabled:
+            self.tracer.emit(
+                STAGING_INGEST, step=job.step, job_id=job.job_id, nbytes=job.nbytes
+            )
 
     def _serve(self):
         while True:
@@ -203,6 +247,15 @@ class StagingArea:
             job.cores_used = cores
             self._running = job
             self._running_ends_at = self.sim.now + duration
+            if self.tracer is not None and self.tracer.enabled:
+                self.tracer.emit(
+                    STAGING_JOB_START,
+                    step=job.step,
+                    job_id=job.job_id,
+                    cores=cores,
+                    queue_delay=job.queue_delay,
+                    work_units=job.work_units,
+                )
             yield self.sim.timeout(duration)
             self._busy_core_seconds += cores * duration
             job.finished_at = self.sim.now
@@ -210,6 +263,18 @@ class StagingArea:
             # Clamp: float residue must never drive the gauge negative.
             self.memory_used = max(0.0, self.memory_used - job.nbytes)
             self.completed.append(job)
+            if self.metrics is not None:
+                self.metrics.counter("staging.jobs_completed").inc()
+                self.metrics.timer("staging.service_seconds").observe(duration)
+                self.metrics.gauge("staging.memory_used").set(self.memory_used)
+            if self.tracer is not None and self.tracer.enabled:
+                self.tracer.emit(
+                    STAGING_JOB_END,
+                    step=job.step,
+                    job_id=job.job_id,
+                    service_seconds=duration,
+                    memory_used=self.memory_used,
+                )
             job.done.succeed(job)
 
     # -- state the policies observe ------------------------------------------------

@@ -13,7 +13,7 @@ usage (Table 2).
 from repro.workflow.builder import WorkflowBuilder
 from repro.workflow.config import Mode, WorkflowConfig
 from repro.workflow.driver import CoupledWorkflow, run_workflow
-from repro.workflow.metrics import StepMetrics, WorkflowResult
+from repro.workflow.metrics import StepMetrics, WorkflowResult, core_usage_histogram
 from repro.workflow.report import compare, result_from_json, result_to_json
 
 __all__ = [
@@ -24,6 +24,7 @@ __all__ = [
     "WorkflowConfig",
     "WorkflowResult",
     "compare",
+    "core_usage_histogram",
     "result_from_json",
     "result_to_json",
     "run_workflow",

@@ -27,6 +27,15 @@ from repro.errors import WorkflowError
 from repro.hpc.event import Simulator
 from repro.hpc.filesystem import ParallelFileSystem
 from repro.hpc.systems import build_workflow_machine
+from repro.observability.events import (
+    RUN_END,
+    RUN_START,
+    SIM_STALL,
+    STEP_END,
+    STEP_START,
+)
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.tracer import Tracer
 from repro.staging.area import AnalysisJob, StagingArea
 from repro.workflow.config import Mode, WorkflowConfig
 from repro.workflow.metrics import StepMetrics, WorkflowResult
@@ -36,14 +45,32 @@ __all__ = ["CoupledWorkflow", "run_workflow"]
 
 
 class CoupledWorkflow:
-    """One workflow run; construct, then :meth:`run`."""
+    """One workflow run; construct, then :meth:`run`.
 
-    def __init__(self, config: WorkflowConfig, trace: WorkloadTrace):
+    ``tracer`` and ``metrics`` are optional observability hooks
+    (:mod:`repro.observability`): when injected they are shared with the
+    Monitor, the Adaptation Engine and the staging area, the tracer's
+    clock is bound to this run's simulator, and the driver itself emits
+    ``run.*``/``step.*``/``sim.stall`` events.  Left as ``None`` (the
+    default), instrumentation reduces to ``is not None`` tests.
+    """
+
+    def __init__(
+        self,
+        config: WorkflowConfig,
+        trace: WorkloadTrace,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
+    ):
         if not len(trace):
             raise WorkflowError("trace has no steps")
         self.config = config
         self.trace = trace
         self.sim = Simulator()
+        self.tracer = tracer
+        self.metrics = metrics
+        if tracer is not None:
+            tracer.bind_clock(lambda: self.sim.now)
         self.machine, self.network = build_workflow_machine(
             self.sim, config.spec, config.sim_cores, config.staging_cores
         )
@@ -55,6 +82,8 @@ class CoupledWorkflow:
             total_cores=config.staging_cores,
             active_cores=config.staging_cores,
             memory_bytes=staging_partition.total_memory,
+            tracer=tracer,
+            metrics=metrics,
         )
         self.pfs = ParallelFileSystem(
             self.sim,
@@ -72,6 +101,8 @@ class CoupledWorkflow:
             network_latency=uplink.latency,
             interval=config.hints.monitor_interval,
             estimate_bias=config.estimator_bias,
+            tracer=tracer,
+            metrics=metrics,
         )
         layers = config.mode.adaptive_layers
         if layers is None:
@@ -79,6 +110,8 @@ class CoupledWorkflow:
                 preferences=config.preferences,
                 hints=config.hints,
                 hybrid_placement=config.hybrid_placement,
+                tracer=tracer,
+                metrics=metrics,
             )
         elif layers:
             self.engine = AdaptationEngine(
@@ -86,6 +119,8 @@ class CoupledWorkflow:
                 hints=config.hints,
                 layers=layers,
                 hybrid_placement=config.hybrid_placement,
+                tracer=tracer,
+                metrics=metrics,
             )
         else:
             self.engine = None
@@ -104,8 +139,24 @@ class CoupledWorkflow:
 
     def run(self) -> WorkflowResult:
         """Execute the whole trace; returns validated aggregate metrics."""
+        if self.tracer is not None and self.tracer.enabled:
+            self.tracer.emit(
+                RUN_START,
+                mode=self.config.mode.value,
+                sim_cores=self.config.sim_cores,
+                staging_cores=self.config.staging_cores,
+                steps=len(self.trace),
+                trace=self.trace.name,
+            )
         main = self.sim.process(self._simulation(), name="simulation")
         self.sim.run(main)
+        if self.tracer is not None and self.tracer.enabled:
+            self.tracer.emit(
+                RUN_END,
+                end_to_end_seconds=self.sim.now,
+                total_sim_seconds=self._total_sim_seconds,
+                data_moved_bytes=self.staging.bytes_ingested,
+            )
         energy, breakdown = self._energy()
         result = WorkflowResult(
             mode=self.config.mode.value,
@@ -163,6 +214,14 @@ class CoupledWorkflow:
         total_steps = len(self.trace)
         for index, record in enumerate(self.trace):
             sim_seconds = record.sim_work / (rate * n_cores)
+            if self.tracer is not None and self.tracer.enabled:
+                self.tracer.emit(
+                    STEP_START,
+                    step=record.step,
+                    sim_seconds=sim_seconds,
+                    cells=record.cells,
+                    data_bytes=record.data_bytes,
+                )
             yield self.sim.timeout(sim_seconds)
             self.monitor.observe_sim_step(sim_seconds)
             self._total_sim_seconds += sim_seconds
@@ -245,6 +304,7 @@ class CoupledWorkflow:
                         )
                     yield self.sim.any_of(pending)
                 metric.block_seconds = self.sim.now - blocked_from
+                self._note_stall(metric, "staging_memory")
                 job = self.staging.submit(record.step, ship_bytes, ship_work)
                 self._outstanding.append(job)
                 job.done.add_callback(
@@ -256,6 +316,7 @@ class CoupledWorkflow:
                 blocked_from = self.sim.now
                 yield self.pfs.write("sim", out_bytes)
                 metric.block_seconds = self.sim.now - blocked_from
+                self._note_stall(metric, "pfs_write")
                 self._post_tasks.append((metric, out_bytes, out_work))
             elif placement is Placement.IN_SITU:
                 analysis_seconds = out_work / (rate * n_cores)
@@ -274,10 +335,24 @@ class CoupledWorkflow:
                         )
                     yield self.sim.any_of(pending)
                 metric.block_seconds = self.sim.now - blocked_from
+                self._note_stall(metric, "staging_memory")
                 job = self.staging.submit(record.step, out_bytes, out_work)
                 self._outstanding.append(job)
                 job.done.add_callback(
                     lambda _evt, job=job, metric=metric: self._on_job_done(job, metric)
+                )
+
+            if self.metrics is not None:
+                self.metrics.counter("workflow.steps").inc()
+            if self.tracer is not None and self.tracer.enabled:
+                self.tracer.emit(
+                    STEP_END,
+                    step=record.step,
+                    placement=placement.value,
+                    factor=factor,
+                    data_bytes_out=out_bytes,
+                    insitu_seconds=metric.insitu_seconds,
+                    block_seconds=metric.block_seconds,
                 )
 
         # Drain: the run ends when the staging pipeline is empty too (Eq. 6).
@@ -350,6 +425,20 @@ class CoupledWorkflow:
             decision.placement = Placement.IN_TRANSIT
         return decision
 
+    def _note_stall(self, metric: StepMetrics, cause: str) -> None:
+        """Publish a simulation stall (no-op when nothing blocked)."""
+        if metric.block_seconds <= 0:
+            return
+        if self.metrics is not None:
+            self.metrics.counter("workflow.stall_seconds").inc(metric.block_seconds)
+        if self.tracer is not None and self.tracer.enabled:
+            self.tracer.emit(
+                SIM_STALL,
+                step=metric.step,
+                seconds=metric.block_seconds,
+                cause=cause,
+            )
+
     def _on_job_done(self, job: AnalysisJob, metric: StepMetrics) -> None:
         metric.analysis_done_at = job.finished_at
         duration = job.finished_at - job.started_at
@@ -360,6 +449,11 @@ class CoupledWorkflow:
             self.monitor.observe_transfer(transfer.size, transfer.elapsed)
 
 
-def run_workflow(config: WorkflowConfig, trace: WorkloadTrace) -> WorkflowResult:
+def run_workflow(
+    config: WorkflowConfig,
+    trace: WorkloadTrace,
+    tracer: Tracer | None = None,
+    metrics: MetricsRegistry | None = None,
+) -> WorkflowResult:
     """Convenience: build and run a workflow in one call."""
-    return CoupledWorkflow(config, trace).run()
+    return CoupledWorkflow(config, trace, tracer=tracer, metrics=metrics).run()

@@ -2,8 +2,9 @@
 
 Utilities a downstream user needs to consume workflow results outside
 Python: JSON serialization of a :class:`~repro.workflow.metrics.
-WorkflowResult` (round-trippable), and a comparison report across modes
-in the style the paper's evaluation uses ("X% reduction vs Y").
+WorkflowResult` (round-trippable, optionally carrying the run's
+observability trace), and a comparison report across modes in the style
+the paper's evaluation uses ("X% reduction vs Y").
 """
 
 from __future__ import annotations
@@ -13,13 +14,27 @@ from pathlib import Path
 
 from repro.core.actions import Placement
 from repro.errors import WorkflowError
+from repro.observability.tracer import Tracer
 from repro.workflow.metrics import StepMetrics, WorkflowResult
 
 __all__ = ["compare", "result_from_json", "result_to_json"]
 
 
-def result_to_json(result: WorkflowResult, path: str | Path | None = None) -> str:
-    """Serialize a result (optionally writing it to ``path``)."""
+def result_to_json(
+    result: WorkflowResult,
+    path: str | Path | None = None,
+    *,
+    tracer: Tracer | None = None,
+) -> str:
+    """Serialize a result (optionally writing it to ``path``).
+
+    ``analysis_done_at`` serializes as JSON ``null`` when the analysis
+    never completed and round-trips back to ``None``; ``placement``
+    round-trips through the :class:`Placement` enum's value.  When a
+    ``tracer`` is given, its retained events are embedded under
+    ``trace_events`` (ignored by :func:`result_from_json`, readable with
+    :class:`~repro.observability.TraceEvent`.from_dict).
+    """
     payload = {
         "mode": result.mode,
         "end_to_end_seconds": result.end_to_end_seconds,
@@ -48,6 +63,8 @@ def result_to_json(result: WorkflowResult, path: str | Path | None = None) -> st
             for m in result.steps
         ],
     }
+    if tracer is not None:
+        payload["trace_events"] = [e.as_dict() for e in tracer.events()]
     text = json.dumps(payload, indent=2)
     if path is not None:
         Path(path).write_text(text)
@@ -78,7 +95,8 @@ def result_from_json(source: str | Path) -> WorkflowResult:
                 data_bytes_out=s["data_bytes_out"],
                 insitu_seconds=s["insitu_seconds"],
                 block_seconds=s["block_seconds"],
-                analysis_done_at=s["analysis_done_at"],
+                # Absent and null both mean "never completed".
+                analysis_done_at=s.get("analysis_done_at"),
             )
             for s in payload["steps"]
         ]
@@ -98,6 +116,8 @@ def result_from_json(source: str | Path) -> WorkflowResult:
         )
     except KeyError as exc:
         raise WorkflowError(f"workflow result missing field {exc}") from exc
+    except ValueError as exc:
+        raise WorkflowError(f"workflow result malformed: {exc}") from exc
 
 
 def compare(baseline: WorkflowResult, candidate: WorkflowResult) -> dict[str, float]:

@@ -1,0 +1,128 @@
+"""End-to-end instrumentation: a traced workflow run emits a coherent,
+causally ordered event stream without perturbing the run itself."""
+
+import pytest
+
+from repro.hpc.systems import titan
+from repro.observability import EVENT_KINDS, METRIC_NAMES, MetricsRegistry, Tracer
+from repro.observability.events import (
+    ADAPT_DECISION,
+    MONITOR_SAMPLE,
+    STAGING_INGEST,
+    STAGING_JOB_END,
+    STAGING_JOB_START,
+    STAGING_SUBMIT,
+    STEP_END,
+    STEP_START,
+)
+from repro.workflow import Mode, WorkflowConfig, run_workflow
+from repro.workload import SyntheticAMRConfig, synthetic_amr_trace
+
+
+def _trace(steps=10):
+    return synthetic_amr_trace(
+        SyntheticAMRConfig(steps=steps, nranks=64, base_cells=2e7,
+                           sim_cost_per_cell=1.0, growth=1.5, seed=0)
+    )
+
+
+def _config(mode=Mode.GLOBAL):
+    return WorkflowConfig(mode=mode, sim_cores=1024, staging_cores=64,
+                          spec=titan(), analysis_cost_per_cell=0.035)
+
+
+@pytest.fixture(scope="module")
+def traced_run():
+    tracer = Tracer()
+    metrics = MetricsRegistry()
+    result = run_workflow(_config(), _trace(), tracer=tracer, metrics=metrics)
+    return tracer, metrics, result
+
+
+class TestEventStream:
+    def test_every_step_has_boundaries(self, traced_run):
+        tracer, _metrics, result = traced_run
+        assert len(tracer.events(kind=STEP_START)) == len(result.steps)
+        assert len(tracer.events(kind=STEP_END)) == len(result.steps)
+
+    def test_one_decision_per_sampled_step_with_inputs(self, traced_run):
+        tracer, _metrics, result = traced_run
+        decisions = tracer.events(kind=ADAPT_DECISION)
+        # monitor_interval defaults to 1: every step is sampled.
+        assert len(decisions) == len(result.steps)
+        for event in decisions:
+            for key in ("est_insitu_time", "est_intransit_time",
+                        "est_intransit_remaining", "factor", "placement",
+                        "staging_cores"):
+                assert key in event.fields
+
+    def test_monitor_sample_precedes_its_decision(self, traced_run):
+        tracer, _metrics, _result = traced_run
+        for decision in tracer.events(kind=ADAPT_DECISION):
+            samples = tracer.events(kind=MONITOR_SAMPLE, step=decision.step)
+            assert samples and samples[0].seq < decision.seq
+
+    def test_staging_lifecycle_is_causally_ordered(self, traced_run):
+        tracer, _metrics, _result = traced_run
+        submits = {e.fields["job_id"]: e for e in tracer.events(kind=STAGING_SUBMIT)}
+        assert submits, "expected at least one in-transit placement"
+        for kind in (STAGING_INGEST, STAGING_JOB_START, STAGING_JOB_END):
+            for event in tracer.events(kind=kind):
+                submit = submits[event.fields["job_id"]]
+                assert submit.seq < event.seq
+                assert submit.ts <= event.ts
+        for end in tracer.events(kind=STAGING_JOB_END):
+            starts = [e for e in tracer.events(kind=STAGING_JOB_START)
+                      if e.fields["job_id"] == end.fields["job_id"]]
+            assert starts and starts[0].ts <= end.ts
+
+    def test_all_emitted_kinds_are_registered(self, traced_run):
+        tracer, _metrics, _result = traced_run
+        assert tracer.kinds_seen() <= set(EVENT_KINDS)
+
+    def test_all_published_metrics_are_registered(self, traced_run):
+        _tracer, metrics, _result = traced_run
+        assert set(metrics.names()) <= set(METRIC_NAMES)
+
+    def test_timestamps_are_monotone_in_seq(self, traced_run):
+        tracer, _metrics, _result = traced_run
+        events = tracer.events()
+        assert all(a.ts <= b.ts for a, b in zip(events, events[1:]))
+
+    def test_jsonl_roundtrip_of_a_real_run(self, traced_run, tmp_path):
+        from repro.observability import read_jsonl
+
+        tracer, _metrics, _result = traced_run
+        path = tmp_path / "run.jsonl"
+        tracer.to_jsonl(path)
+        assert read_jsonl(path) == tracer.events()
+
+
+class TestZeroOverheadPath:
+    def test_uninstrumented_run_is_bitwise_identical(self, traced_run):
+        _tracer, _metrics, instrumented = traced_run
+        plain = run_workflow(_config(), _trace())
+        assert plain == instrumented
+
+    def test_disabled_tracer_records_nothing_and_changes_nothing(self, traced_run):
+        _tracer, _metrics, instrumented = traced_run
+        tracer = Tracer(enabled=False)
+        result = run_workflow(_config(), _trace(), tracer=tracer)
+        assert len(tracer) == 0
+        assert result == instrumented
+
+
+class TestMetricsConsistency:
+    def test_counters_match_result_aggregates(self, traced_run):
+        tracer, metrics, result = traced_run
+        values = metrics.as_dict()
+        assert values["workflow.steps"] == len(result.steps)
+        assert values["engine.decisions"] == len(
+            tracer.events(kind=ADAPT_DECISION)
+        )
+        assert values["staging.bytes_ingested"] == pytest.approx(
+            result.data_moved_bytes
+        )
+        assert values["staging.jobs_completed"] == len(
+            tracer.events(kind=STAGING_JOB_END)
+        )

@@ -1,0 +1,91 @@
+"""Tests for the metrics registry: counter/gauge/EMA-timer semantics."""
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.observability import METRIC_NAMES, MetricsRegistry
+
+
+class TestCounter:
+    def test_increments_accumulate(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("x")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_same_name_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        registry.counter("x").inc()
+        registry.counter("x").inc()
+        assert registry.counter("x").value == 2.0
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ObservabilityError):
+            MetricsRegistry().counter("x").inc(-1)
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        gauge = MetricsRegistry().gauge("g")
+        gauge.set(5)
+        gauge.set(2.5)
+        assert gauge.value == 2.5
+
+
+class TestEmaTimer:
+    def test_first_observation_seeds_the_average(self):
+        timer = MetricsRegistry().timer("t", alpha=0.3)
+        timer.observe(10.0)
+        assert timer.value == 10.0
+
+    def test_ema_blending(self):
+        timer = MetricsRegistry().timer("t", alpha=0.5)
+        timer.observe(10.0)
+        timer.observe(20.0)
+        assert timer.value == pytest.approx(15.0)
+        assert timer.count == 2
+        assert timer.total == pytest.approx(30.0)
+
+    def test_invalid_alpha_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ObservabilityError):
+            registry.timer("t", alpha=0.0)
+        with pytest.raises(ObservabilityError):
+            registry.timer("u", alpha=1.5)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ObservabilityError):
+            MetricsRegistry().timer("t").observe(-1.0)
+
+
+class TestRegistry:
+    def test_type_collision_is_an_error(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ObservabilityError):
+            registry.gauge("x")
+        with pytest.raises(ObservabilityError):
+            registry.timer("x")
+
+    def test_as_dict_and_names(self):
+        registry = MetricsRegistry()
+        registry.counter("b").inc(2)
+        registry.gauge("a").set(1)
+        assert registry.names() == ["a", "b"]
+        assert registry.as_dict() == {"a": 1.0, "b": 2.0}
+
+    def test_render_empty_and_populated(self):
+        registry = MetricsRegistry()
+        assert "no metrics" in registry.render()
+        registry.counter("hits").inc(3)
+        registry.timer("lat").observe(0.5)
+        text = registry.render()
+        assert "hits" in text and "lat" in text and "n=1" in text
+
+
+class TestNameRegistry:
+    def test_builtin_names_are_namespaced_and_described(self):
+        for name, description in METRIC_NAMES.items():
+            assert "." in name
+            assert description

@@ -1,0 +1,73 @@
+"""Docs-consistency check: the documentation cannot silently rot.
+
+Asserts that everything the observability layer and the CLI expose is
+actually documented: every public symbol in
+``repro.observability.__all__``, every registered event kind and metric
+name, and every CLI subcommand must appear in the docs.  A new event
+kind or public symbol without a matching docs edit fails CI here.
+"""
+
+from pathlib import Path
+
+import pytest
+
+import repro.observability as observability
+from repro.__main__ import EXPERIMENTS, SUBCOMMANDS
+from repro.observability import EVENT_KINDS, METRIC_NAMES
+
+REPO = Path(__file__).resolve().parent.parent
+OBSERVABILITY_DOC = REPO / "docs" / "observability.md"
+
+
+@pytest.fixture(scope="module")
+def observability_doc() -> str:
+    assert OBSERVABILITY_DOC.exists(), "docs/observability.md is missing"
+    return OBSERVABILITY_DOC.read_text()
+
+
+@pytest.fixture(scope="module")
+def all_docs() -> str:
+    texts = [(REPO / "README.md").read_text()]
+    texts += [p.read_text() for p in sorted((REPO / "docs").glob("*.md"))]
+    return "\n".join(texts)
+
+
+class TestObservabilityDocs:
+    def test_every_public_symbol_documented(self, observability_doc):
+        missing = [name for name in observability.__all__
+                   if name not in observability_doc]
+        assert not missing, f"undocumented observability symbols: {missing}"
+
+    def test_every_event_kind_documented(self, observability_doc):
+        missing = [kind for kind in EVENT_KINDS
+                   if f"`{kind}`" not in observability_doc]
+        assert not missing, f"undocumented event kinds: {missing}"
+
+    def test_every_metric_name_documented(self, observability_doc):
+        missing = [name for name in METRIC_NAMES
+                   if f"`{name}`" not in observability_doc]
+        assert not missing, f"undocumented metric names: {missing}"
+
+
+class TestCliDocs:
+    def test_every_subcommand_documented(self, all_docs):
+        missing = [name for name in SUBCOMMANDS
+                   if f"repro {name}" not in all_docs]
+        assert not missing, f"undocumented CLI subcommands: {missing}"
+
+    def test_every_experiment_listed_in_docs(self, all_docs):
+        missing = [name for name in EXPERIMENTS if name not in all_docs]
+        assert not missing, f"undocumented experiments: {missing}"
+
+
+class TestApiDocs:
+    def test_workflow_public_api_documented(self):
+        import repro.workflow as workflow
+
+        api_doc = (REPO / "docs" / "api.md").read_text()
+        missing = [name for name in workflow.__all__ if name not in api_doc]
+        assert not missing, f"workflow symbols missing from docs/api.md: {missing}"
+
+    def test_architecture_diagram_names_observability(self):
+        text = (REPO / "docs" / "architecture.md").read_text()
+        assert "repro.observability" in text

@@ -1,11 +1,16 @@
 """Tests for result serialization and comparisons."""
 
+import json
+
 import pytest
 
+from repro.core.actions import Placement
 from repro.errors import WorkflowError
 from repro.hpc.systems import titan
+from repro.observability import Tracer
 from repro.workflow.config import Mode, WorkflowConfig
 from repro.workflow.driver import run_workflow
+from repro.workflow.metrics import StepMetrics, WorkflowResult
 from repro.workflow.report import compare, result_from_json, result_to_json
 from repro.workload.synthetic import SyntheticAMRConfig, synthetic_amr_trace
 
@@ -48,6 +53,50 @@ class TestJsonRoundtrip:
             result_from_json("this is not json {")
         with pytest.raises(WorkflowError):
             result_from_json('{"mode": "x"}')
+
+    def test_full_equality_roundtrip(self, results):
+        # Regression: dataclass equality must survive the round trip
+        # exactly, enums and None fields included.
+        for result in results.values():
+            assert result_from_json(result_to_json(result)) == result
+
+    def test_none_analysis_done_at_and_enum_roundtrip(self):
+        step = StepMetrics(
+            step=1, sim_seconds=1.0, factor=2,
+            placement=Placement.POST_PROCESS, staging_cores=4,
+            data_bytes_full=100.0, data_bytes_out=50.0,
+            insitu_seconds=0.0, block_seconds=0.25,
+            analysis_done_at=None,
+        )
+        original = WorkflowResult(mode="post_processing", steps=[step],
+                                  end_to_end_seconds=2.0,
+                                  total_sim_seconds=1.0)
+        restored = result_from_json(result_to_json(original))
+        assert restored == original
+        assert restored.steps[0].analysis_done_at is None
+        assert restored.steps[0].placement is Placement.POST_PROCESS
+
+    def test_absent_analysis_done_at_reads_as_none(self, results):
+        payload = json.loads(result_to_json(results[Mode.STATIC_INSITU]))
+        for step in payload["steps"]:
+            del step["analysis_done_at"]
+        restored = result_from_json(json.dumps(payload))
+        assert all(s.analysis_done_at is None for s in restored.steps)
+
+    def test_unknown_placement_rejected(self, results):
+        payload = json.loads(result_to_json(results[Mode.STATIC_INSITU]))
+        payload["steps"][0]["placement"] = "teleport"
+        with pytest.raises(WorkflowError):
+            result_from_json(json.dumps(payload))
+
+    def test_trace_events_embedded_and_ignored_on_read(self, results):
+        tracer = Tracer()
+        tracer.emit("run.start", mode="test")
+        original = results[Mode.STATIC_INSITU]
+        text = result_to_json(original, tracer=tracer)
+        payload = json.loads(text)
+        assert payload["trace_events"][0]["kind"] == "run.start"
+        assert result_from_json(text) == original
 
 
 class TestCompare:
