@@ -5,14 +5,45 @@ or table of the paper and *prints* the reproduced rows/series (run pytest
 with ``-s`` to see them), while pytest-benchmark records the wall time of
 the regeneration.  Experiment runs are deterministic, so a single round
 is meaningful.
+
+At the end of a benchmark session the per-figure wall times are written
+to ``benchmarks/BENCH_<git-rev>.json`` -- a versioned perf snapshot that
+can be committed alongside the change that produced it, so perf drift is
+reviewable history rather than folklore.
 """
 
+import json
+import subprocess
+import time
+from pathlib import Path
+
 import pytest
+
+#: Wall time per benchmark (test name -> seconds), filled by run_once.
+_WALL: dict[str, float] = {}
+
+
+def _git_rev() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=Path(__file__).parent,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+        rev = out.stdout.strip()
+        return rev if out.returncode == 0 and rev else "unknown"
+    except OSError:
+        return "unknown"
 
 
 def run_once(benchmark, fn, *args, **kwargs):
     """Benchmark ``fn`` with one warm round (experiments are deterministic)."""
-    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+    started = time.perf_counter()
+    result = benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+    _WALL[benchmark.name] = time.perf_counter() - started
+    return result
 
 
 @pytest.fixture()
@@ -23,3 +54,17 @@ def once(benchmark):
         return run_once(benchmark, fn, *args, **kwargs)
 
     return _run
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write the perf snapshot when at least one benchmark ran."""
+    if not _WALL:
+        return
+    rev = _git_rev()
+    payload = {
+        "schema": "repro.bench/1",
+        "git_rev": rev,
+        "figures": {name: round(seconds, 4) for name, seconds in sorted(_WALL.items())},
+    }
+    path = Path(__file__).parent / f"BENCH_{rev}.json"
+    path.write_text(json.dumps(payload, indent=2) + "\n")

@@ -8,12 +8,22 @@ Usage::
     python -m repro ablations
     python -m repro all
     python -m repro trace --steps 20 --jsonl trace.jsonl
+    python -m repro audit --steps 20 --export run.json
+    python -m repro audit --diff a.json b.json
 
 ``trace`` is the observability workflow: it replays the quickstart
 workload with a :class:`~repro.observability.Tracer` and
 :class:`~repro.observability.MetricsRegistry` injected, prints the
 per-step decision timeline and the sim-vs-staging occupancy Gantt, and
 optionally writes the full event stream as JSON Lines.
+
+``audit`` replays the same workload with a
+:class:`~repro.observability.PredictionLedger` injected and prints the
+calibration report: per-estimator bias/MAPE/convergence plus the
+counterfactual placement regret.  ``--export`` writes a versioned JSON
+snapshot, ``--prometheus`` writes the text exposition format, and
+``--diff A B`` compares two exported snapshots (estimate-error drift,
+regret delta, decision flips) without running anything.
 """
 
 from __future__ import annotations
@@ -26,7 +36,7 @@ from pathlib import Path
 __all__ = ["SUBCOMMANDS", "main"]
 
 #: Non-experiment subcommands (the docs-consistency test keys off this).
-SUBCOMMANDS = ("list", "all", "trace")
+SUBCOMMANDS = ("list", "all", "trace", "audit")
 
 
 def _fig1() -> str:
@@ -117,6 +127,35 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[], str]]] = {
 }
 
 
+def _quickstart(mode: str, steps: int, seed: int, estimator_bias: float = 1.0):
+    """The quickstart workload + config shared by ``trace`` and ``audit``."""
+    from repro.hpc.systems import titan
+    from repro.workflow import Mode, WorkflowConfig
+    from repro.workload import SyntheticAMRConfig, synthetic_amr_trace
+
+    trace = synthetic_amr_trace(
+        SyntheticAMRConfig(
+            steps=steps,
+            nranks=1024,
+            base_cells=5e7,
+            sim_cost_per_cell=8.0,
+            growth=2.0,
+            analysis_growth_exponent=0.5,
+            seed=seed,
+        ),
+        name="trace-quickstart",
+    )
+    config = WorkflowConfig(
+        mode=Mode(mode),
+        sim_cores=1024,
+        staging_cores=64,
+        spec=titan(),
+        analysis_cost_per_cell=0.45,
+        estimator_bias=estimator_bias,
+    )
+    return config, trace
+
+
 def _trace_command(argv: list[str]) -> int:
     """The ``repro trace`` subcommand: an instrumented quickstart replay."""
     parser = argparse.ArgumentParser(
@@ -137,35 +176,15 @@ def _trace_command(argv: list[str]) -> int:
                         help="Gantt width in columns (default: 72)")
     args = parser.parse_args(argv)
 
-    from repro.hpc.systems import titan
     from repro.observability import (
         MetricsRegistry,
         Tracer,
         decision_timeline,
         occupancy_gantt,
     )
-    from repro.workflow import Mode, WorkflowConfig, run_workflow
-    from repro.workload import SyntheticAMRConfig, synthetic_amr_trace
+    from repro.workflow import run_workflow
 
-    trace = synthetic_amr_trace(
-        SyntheticAMRConfig(
-            steps=args.steps,
-            nranks=1024,
-            base_cells=5e7,
-            sim_cost_per_cell=8.0,
-            growth=2.0,
-            analysis_growth_exponent=0.5,
-            seed=args.seed,
-        ),
-        name="trace-quickstart",
-    )
-    config = WorkflowConfig(
-        mode=Mode(args.mode),
-        sim_cores=1024,
-        staging_cores=64,
-        spec=titan(),
-        analysis_cost_per_cell=0.45,
-    )
+    config, trace = _quickstart(args.mode, args.steps, args.seed)
     tracer = Tracer()
     metrics = MetricsRegistry()
     result = run_workflow(config, trace, tracer=tracer, metrics=metrics)
@@ -186,6 +205,78 @@ def _trace_command(argv: list[str]) -> int:
     return 0
 
 
+def _audit_command(argv: list[str]) -> int:
+    """The ``repro audit`` subcommand: calibration + regret report."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro audit",
+        description="Replay the quickstart workload with a prediction "
+        "ledger injected and print the calibration report (per-estimator "
+        "bias/MAPE, EMA convergence, counterfactual placement regret); "
+        "or, with --diff, compare two exported snapshots.",
+    )
+    parser.add_argument("--mode", default="global",
+                        choices=[m.value for m in _trace_modes()],
+                        help="execution mode (default: global)")
+    parser.add_argument("--steps", type=int, default=20,
+                        help="workload length in steps (default: 20)")
+    parser.add_argument("--seed", type=int, default=42,
+                        help="synthetic workload seed (default: 42)")
+    parser.add_argument("--bias", type=float, default=1.0,
+                        help="multiply every analysis-time estimate by "
+                        "this factor (default: 1.0 = unbiased)")
+    parser.add_argument("--export", metavar="PATH", default=None,
+                        help="write a versioned JSON snapshot of the run")
+    parser.add_argument("--prometheus", metavar="PATH", default=None,
+                        help="write the metrics + ledger series in "
+                        "Prometheus text exposition format")
+    parser.add_argument("--diff", nargs=2, metavar=("A", "B"), default=None,
+                        help="compare two exported snapshots instead of "
+                        "running the workload")
+    args = parser.parse_args(argv)
+
+    from repro.observability import (
+        MetricsRegistry,
+        PredictionLedger,
+        calibration_report,
+        diff_snapshots,
+        export_snapshot,
+        load_snapshot,
+        prometheus_text,
+        render_diff,
+    )
+
+    if args.diff is not None:
+        a, b = (load_snapshot(p) for p in args.diff)
+        print(render_diff(diff_snapshots(a, b)))
+        return 0
+
+    from repro.workflow import run_workflow
+
+    config, trace = _quickstart(args.mode, args.steps, args.seed,
+                                estimator_bias=args.bias)
+    ledger = PredictionLedger()
+    metrics = MetricsRegistry()
+    result = run_workflow(config, trace, metrics=metrics, ledger=ledger)
+
+    print(f"mode={config.mode.value}  steps={len(trace)}  "
+          f"bias={args.bias:g}  "
+          f"end-to-end={result.end_to_end_seconds:.2f}s")
+    print("\n## Calibration " + "#" * 56)
+    print(calibration_report(ledger))
+    label = f"{config.mode.value} steps={len(trace)} seed={args.seed} " \
+            f"bias={args.bias:g}"
+    if args.export is not None:
+        export_snapshot(metrics=metrics, ledger=ledger, label=label,
+                        path=args.export)
+        print(f"\nwrote snapshot to {args.export}")
+    if args.prometheus is not None:
+        path = Path(args.prometheus)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(prometheus_text(metrics=metrics, ledger=ledger))
+        print(f"wrote Prometheus exposition to {args.prometheus}")
+    return 0
+
+
 def _trace_modes():
     from repro.workflow import Mode
 
@@ -196,6 +287,8 @@ def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "trace":
         return _trace_command(argv[1:])
+    if argv and argv[0] == "audit":
+        return _audit_command(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -203,7 +296,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        help="experiment id (see 'list'), 'all', 'list', or 'trace'",
+        help="experiment id (see 'list'), 'all', 'list', 'trace', or 'audit'",
     )
     args = parser.parse_args(argv)
 
@@ -213,6 +306,8 @@ def main(argv: list[str] | None = None) -> int:
             print(f"{name.ljust(width)}  {description}")
         print(f"{'trace'.ljust(width)}  instrumented replay: decision "
               "timeline + occupancy Gantt (see 'trace --help')")
+        print(f"{'audit'.ljust(width)}  prediction-ledger replay: "
+              "calibration report + placement regret (see 'audit --help')")
         return 0
 
     if args.experiment == "all":

@@ -35,6 +35,7 @@ from repro.core.preferences import UserHints, UserPreferences
 from repro.core.state import OperationalState
 from repro.errors import PolicyError
 from repro.observability.events import ADAPT_ACTION, ADAPT_DECISION
+from repro.observability.ledger import PredictionLedger
 from repro.observability.metrics import MetricsRegistry
 from repro.observability.tracer import Tracer
 
@@ -68,12 +69,15 @@ class AdaptationEngine:
         Explicit layer set for *local* adaptation (e.g.
         ``{Layer.MIDDLEWARE}``).  ``None`` selects *global* mode: the
         cross-layer root-leaf plan derived from ``preferences.objective``.
-    tracer, metrics:
+    tracer, metrics, ledger:
         Optional observability hooks.  When injected, every call to
         :meth:`adapt` emits an ``adapt.decision`` event carrying the
         inputs the plan ran on (estimated backlog, in-situ/in-transit
         times) plus one ``adapt.action`` event per layer with the
-        policy's own reasoning.
+        policy's own reasoning; the ledger additionally records the
+        resource layer's staging-core choice and the middleware layer's
+        implied staging-memory demand as predictions the host later
+        resolves against realized values.
     """
 
     def __init__(
@@ -84,6 +88,7 @@ class AdaptationEngine:
         hybrid_placement: bool = False,
         tracer: Tracer | None = None,
         metrics: MetricsRegistry | None = None,
+        ledger: PredictionLedger | None = None,
     ):
         self.preferences = preferences or UserPreferences()
         self.hints = hints or UserHints()
@@ -108,6 +113,7 @@ class AdaptationEngine:
             self.mode = "local"
         self.tracer = tracer
         self.metrics = metrics
+        self.ledger = ledger
         self.decisions: list[AdaptationDecision] = []
 
     def adapt(self, state: OperationalState) -> AdaptationDecision:
@@ -144,6 +150,23 @@ class AdaptationEngine:
             else:  # pragma: no cover - enum is closed
                 raise PolicyError(f"unknown layer {layer}")
         self.decisions.append(decision)
+        if self.ledger is not None:
+            if decision.staging_cores is not None:
+                self.ledger.predict(
+                    "staging_cores", state.step, float(decision.staging_cores),
+                    mechanism="resource",
+                )
+            if decision.placement is Placement.IN_TRANSIT:
+                self.ledger.predict(
+                    "memory_demand", state.step, working.data_bytes,
+                    mechanism="middleware",
+                )
+            elif decision.placement is Placement.HYBRID:
+                self.ledger.predict(
+                    "memory_demand", state.step,
+                    (1.0 - decision.insitu_fraction) * working.data_bytes,
+                    mechanism="middleware",
+                )
         if self.metrics is not None:
             self.metrics.counter("engine.decisions").inc()
         if self.tracer is not None and self.tracer.enabled:

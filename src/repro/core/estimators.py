@@ -11,6 +11,7 @@ Monitor.
 from __future__ import annotations
 
 from repro.errors import PolicyError
+from repro.observability.metrics import Counter
 
 __all__ = ["RateEstimator", "TransferEstimator"]
 
@@ -48,7 +49,14 @@ class RateEstimator:
 
 
 class TransferEstimator:
-    """EMA estimate of effective transfer bandwidth plus fixed latency."""
+    """EMA estimate of effective transfer bandwidth plus fixed latency.
+
+    Transfers whose measured time does not exceed the latency floor
+    carry no bandwidth information; they are *discarded* rather than
+    folded in.  :attr:`discards` counts them, because a link saturated
+    at its latency floor otherwise freezes the bandwidth EMA at its
+    seed value without any visible symptom.
+    """
 
     def __init__(self, initial_bandwidth: float, latency: float = 0.0,
                  alpha: float = 0.3):
@@ -64,17 +72,23 @@ class TransferEstimator:
         self.latency = float(latency)
         self.alpha = float(alpha)
         self.observations = 0
+        #: Latency-saturated observations dropped without updating the EMA.
+        self.discards = Counter()
 
-    def observe(self, nbytes: float, seconds: float) -> None:
-        """Fold in one completed transfer."""
+    def observe(self, nbytes: float, seconds: float) -> bool:
+        """Fold in one completed transfer; False when it was discarded."""
         if seconds <= 0 or nbytes < 0:
             raise PolicyError("invalid observation")
+        if nbytes == 0:
+            return False
         effective = seconds - self.latency
-        if nbytes == 0 or effective <= 0:
-            return
+        if effective <= 0:
+            self.discards.inc()
+            return False
         measured = nbytes / effective
         self.bandwidth = (1 - self.alpha) * self.bandwidth + self.alpha * measured
         self.observations += 1
+        return True
 
     def estimate(self, nbytes: float) -> float:
         """Predicted seconds to move ``nbytes``."""

@@ -19,6 +19,7 @@ from repro.core.estimators import RateEstimator, TransferEstimator
 from repro.core.state import OperationalState
 from repro.errors import PolicyError
 from repro.observability.events import MONITOR_SAMPLE
+from repro.observability.ledger import PredictionLedger
 from repro.observability.metrics import MetricsRegistry
 from repro.observability.tracer import Tracer
 
@@ -28,10 +29,12 @@ __all__ = ["Monitor"]
 class Monitor:
     """Collects observations and produces operational-state snapshots.
 
-    ``tracer`` and ``metrics`` are optional observability hooks: when
-    injected, every snapshot emits a ``monitor.sample`` event and the
-    observation intake publishes counters/timers; when left ``None``
-    (the default) instrumentation costs one ``is not None`` test.
+    ``tracer``, ``metrics`` and ``ledger`` are optional observability
+    hooks: when injected, every snapshot emits a ``monitor.sample``
+    event, the observation intake publishes counters/timers, and each
+    next-step-time forecast lands in the prediction ledger to be paired
+    with the step duration actually observed; when left ``None`` (the
+    default) instrumentation costs one ``is not None`` test.
     """
 
     def __init__(
@@ -44,6 +47,7 @@ class Monitor:
         estimate_bias: float = 1.0,
         tracer: Tracer | None = None,
         metrics: MetricsRegistry | None = None,
+        ledger: PredictionLedger | None = None,
     ):
         if interval < 1:
             raise PolicyError(f"interval must be >= 1, got {interval}")
@@ -62,6 +66,9 @@ class Monitor:
         self.estimate_bias = float(estimate_bias)
         self.tracer = tracer
         self.metrics = metrics
+        self.ledger = ledger
+        # Step whose next-sim-time forecast is awaiting its realization.
+        self._sim_pred_step: int | None = None
         self.history: list[OperationalState] = []
 
     # -- sampling cadence -----------------------------------------------------
@@ -76,6 +83,9 @@ class Monitor:
         """Record a completed simulation step's duration."""
         if seconds <= 0:
             raise PolicyError(f"step duration must be positive, got {seconds}")
+        if self.ledger is not None and self._sim_pred_step is not None:
+            self.ledger.resolve("sim_step_time", self._sim_pred_step, seconds)
+            self._sim_pred_step = None
         if self._sim_time_ema is None:
             self._sim_time_ema = seconds
         else:
@@ -99,9 +109,11 @@ class Monitor:
 
     def observe_transfer(self, nbytes: float, seconds: float) -> None:
         """Record a completed staging transfer."""
-        self.transfer.observe(nbytes, seconds)
+        accepted = self.transfer.observe(nbytes, seconds)
         if self.metrics is not None:
             self.metrics.counter("monitor.transfer_observations").inc()
+            if not accepted and nbytes > 0:
+                self.metrics.counter("monitor.transfer_discards").inc()
 
     # -- estimates -------------------------------------------------------------
 
@@ -178,6 +190,16 @@ class Monitor:
             ),
         )
         self.history.append(state)
+        if self.ledger is not None and state.est_next_sim_time > 0:
+            # Forecast the *next* step's duration; the next observed step
+            # resolves it.  An unresolved older forecast (off-sample gap)
+            # stays pending rather than being paired with the wrong step.
+            if self._sim_pred_step is None:
+                self.ledger.predict(
+                    "sim_step_time", step, state.est_next_sim_time,
+                    mechanism="monitor",
+                )
+                self._sim_pred_step = step
         if self.metrics is not None:
             self.metrics.counter("monitor.samples").inc()
         if self.tracer is not None and self.tracer.enabled:

@@ -1,4 +1,4 @@
-"""Structured observability: cross-layer event tracing and metrics.
+"""Structured observability: tracing, metrics, prediction auditing, export.
 
 The paper's Monitor "captures runtime status information at the
 different layers"; this package makes that capture *inspectable*.  It
@@ -11,20 +11,53 @@ publishes into:
   JSONL export (:meth:`Tracer.to_jsonl` / :func:`read_jsonl`);
 - :class:`MetricsRegistry` -- named :class:`Counter` / :class:`Gauge` /
   :class:`EmaTimer` instruments;
+- :class:`PredictionLedger` -- every estimate the Monitor and the
+  Adaptation Engine decide on, paired with the realized value the event
+  simulator later delivers, plus per-step placement outcomes for
+  counterfactual regret (:data:`QUANTITIES` is the closed registry);
+- :func:`calibrate` / :func:`placement_regret` /
+  :func:`calibration_report` -- per-estimator bias, MAPE and
+  EMA-convergence curves, and the regret audit of Eq. 8's decisions
+  (the ``repro audit`` CLI's output);
+- :func:`prometheus_text` / :func:`export_snapshot` /
+  :func:`load_snapshot` / :func:`diff_snapshots` / :func:`render_diff`
+  -- the exporters: Prometheus text exposition and versioned JSON
+  snapshots (:data:`SNAPSHOT_SCHEMA`), diffable across runs;
 - :func:`decision_timeline` / :func:`occupancy_gantt` -- human-readable
   renderings of a trace (the ``repro trace`` CLI's output).
 
 Instrumentation is injected: the Monitor, Adaptation Engine, staging
 area and workflow driver all accept optional ``tracer=`` / ``metrics=``
-arguments and publish only when given one, so a run without observers
-pays a single ``is not None`` test per would-be event.
+/ ``ledger=`` arguments and publish only when given one, so a run
+without observers pays a single ``is not None`` test per would-be event.
 
-:data:`EVENT_KINDS` and :data:`METRIC_NAMES` are the closed registries
-of everything the built-in instrumentation can emit; see
-``docs/observability.md`` for the schema and a worked example.
+:data:`EVENT_KINDS`, :data:`METRIC_NAMES` and :data:`QUANTITIES` are the
+closed registries of everything the built-in instrumentation can emit;
+see ``docs/observability.md`` for the schemas and worked examples.
 """
 
+from repro.observability.calibration import (
+    EstimatorCalibration,
+    RegretSummary,
+    calibrate,
+    calibration_report,
+    placement_regret,
+)
 from repro.observability.events import EVENT_KINDS, TraceEvent
+from repro.observability.export import (
+    SNAPSHOT_SCHEMA,
+    diff_snapshots,
+    export_snapshot,
+    load_snapshot,
+    prometheus_text,
+    render_diff,
+)
+from repro.observability.ledger import (
+    QUANTITIES,
+    PlacementOutcome,
+    PredictionLedger,
+    PredictionRecord,
+)
 from repro.observability.metrics import (
     METRIC_NAMES,
     Counter,
@@ -38,13 +71,28 @@ from repro.observability.tracer import Tracer, read_jsonl
 __all__ = [
     "Counter",
     "EmaTimer",
+    "EstimatorCalibration",
     "EVENT_KINDS",
     "Gauge",
     "METRIC_NAMES",
     "MetricsRegistry",
+    "PlacementOutcome",
+    "PredictionLedger",
+    "PredictionRecord",
+    "QUANTITIES",
+    "RegretSummary",
+    "SNAPSHOT_SCHEMA",
     "TraceEvent",
     "Tracer",
+    "calibrate",
+    "calibration_report",
     "decision_timeline",
+    "diff_snapshots",
+    "export_snapshot",
+    "load_snapshot",
     "occupancy_gantt",
+    "placement_regret",
+    "prometheus_text",
     "read_jsonl",
+    "render_diff",
 ]

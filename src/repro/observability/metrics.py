@@ -31,6 +31,8 @@ METRIC_NAMES: dict[str, str] = {
     "monitor.insitu_observations": "counter: completed in-situ analyses observed",
     "monitor.intransit_observations": "counter: completed in-transit analyses observed",
     "monitor.transfer_observations": "counter: completed staging transfers observed",
+    "monitor.transfer_discards": "counter: transfer observations discarded as "
+    "latency-saturated (seconds <= link latency)",
     "engine.decisions": "counter: adaptation decisions committed",
     "staging.jobs_submitted": "counter: analysis jobs submitted to staging",
     "staging.jobs_completed": "counter: analysis jobs drained by staging",
@@ -134,6 +136,10 @@ class MetricsRegistry:
     def names(self) -> list[str]:
         """Registered metric names, sorted."""
         return sorted(self._instruments)
+
+    def instruments(self) -> dict[str, Counter | Gauge | EmaTimer]:
+        """A copy of the name -> instrument mapping (for exporters)."""
+        return dict(self._instruments)
 
     def as_dict(self) -> dict[str, float]:
         """Current value of every instrument (EMA value for timers)."""

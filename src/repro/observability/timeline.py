@@ -33,11 +33,28 @@ def _fmt(value: object) -> str:
     return str(value)
 
 
+def _truncation_banner(tracer: Tracer) -> str | None:
+    """A warning line when the ring buffer evicted events, else None.
+
+    Both renderers prepend it so a wrapped trace is never silently
+    presented as the whole run.
+    """
+    if tracer.dropped <= 0:
+        return None
+    return (
+        f"!! trace truncated: ring buffer (capacity {tracer.capacity}) "
+        f"evicted {tracer.dropped} older events; "
+        f"showing the newest {len(tracer)}"
+    )
+
+
 def decision_timeline(tracer: Tracer) -> str:
     """One row per adaptation decision: outputs, inputs, reasoning."""
+    banner = _truncation_banner(tracer)
     decisions = tracer.events(kind=ADAPT_DECISION)
     if not decisions:
-        return "(no adaptation decisions in trace)"
+        empty = "(no adaptation decisions in trace)"
+        return f"{banner}\n{empty}" if banner else empty
     reasons: dict[int | None, list[str]] = {}
     for action in tracer.events(kind=ADAPT_ACTION):
         layer = action.fields.get("layer", "?")
@@ -62,8 +79,9 @@ def decision_timeline(tracer: Tracer) -> str:
         ])
     widths = [max(len(h), max(len(r[i]) for r in rows))
               for i, h in enumerate(headers)]
-    lines = ["  ".join(h.rjust(w) for h, w in zip(headers, widths)),
-             "  ".join("-" * w for w in widths)]
+    lines = [banner] if banner else []
+    lines += ["  ".join(h.rjust(w) for h, w in zip(headers, widths)),
+              "  ".join("-" * w for w in widths)]
     for event, row in zip(decisions, rows):
         lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
         for reason in reasons.get(event.step, []):
@@ -95,12 +113,15 @@ def occupancy_gantt(tracer: Tracer, width: int = 72) -> str:
     ``=`` marks busy time, ``x`` marks simulation stalls (blocked on
     staging memory or a collective PFS write), ``.`` marks idle.
     """
+    banner = _truncation_banner(tracer)
     events = tracer.events()
     if not events:
-        return "(empty trace)"
+        empty = "(empty trace)"
+        return f"{banner}\n{empty}" if banner else empty
     t_end = max(e.ts for e in events)
     if t_end <= 0:
-        return "(trace spans zero simulated time)"
+        flat = "(trace spans zero simulated time)"
+        return f"{banner}\n{flat}" if banner else flat
     width = max(10, int(width))
     scale = width / t_end
 
@@ -130,9 +151,11 @@ def occupancy_gantt(tracer: Tracer, width: int = 72) -> str:
         return "".join(cells)
 
     axis = f"0s{' ' * (width - 2 - len(f'{t_end:.1f}s'))}{t_end:.1f}s"
-    return "\n".join([
+    lines = [banner] if banner else []
+    lines += [
         f"sim      |{bar(sim_busy, overlay=stalls)}|",
         f"staging  |{bar(staging_busy)}|",
         f"          {axis}",
         "          = busy   x stalled   . idle",
-    ])
+    ]
+    return "\n".join(lines)

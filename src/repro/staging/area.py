@@ -33,6 +33,7 @@ from repro.observability.events import (
     STAGING_RESIZE,
     STAGING_SUBMIT,
 )
+from repro.observability.ledger import PredictionLedger
 from repro.observability.metrics import MetricsRegistry
 from repro.observability.tracer import Tracer
 
@@ -88,10 +89,12 @@ class StagingArea:
         Cores initially enabled (resource adaptation may change this).
     memory_bytes:
         Staging memory for in-flight step data (Eq. 10's constraint).
-    tracer, metrics:
+    tracer, metrics, ledger:
         Optional observability hooks; when injected, submissions, ingest
         completions, job service boundaries and core resizes emit
-        ``staging.*`` events and publish counters/gauges.
+        ``staging.*`` events and publish counters/gauges, and each
+        submission resolves the middleware layer's pending
+        ``memory_demand`` prediction with the bytes actually ingested.
     """
 
     def __init__(
@@ -106,6 +109,7 @@ class StagingArea:
         dst_endpoint: str = "staging",
         tracer: Tracer | None = None,
         metrics: MetricsRegistry | None = None,
+        ledger: PredictionLedger | None = None,
     ):
         if total_cores < 1:
             raise StagingError(f"need at least one staging core, got {total_cores}")
@@ -126,6 +130,7 @@ class StagingArea:
         self.dst = dst_endpoint
         self.tracer = tracer
         self.metrics = metrics
+        self.ledger = ledger
 
         self._ids = itertools.count()
         self._queue: Store = Store(sim, name="staging-jobs")
@@ -211,6 +216,8 @@ class StagingArea:
         )
         self._queued_work += work_units
         self._queue.put(job)
+        if self.ledger is not None and self.ledger.has_pending("memory_demand", step):
+            self.ledger.resolve("memory_demand", step, nbytes)
         if self.metrics is not None:
             self.metrics.counter("staging.jobs_submitted").inc()
             self.metrics.counter("staging.bytes_ingested").inc(nbytes)

@@ -34,6 +34,7 @@ from repro.observability.events import (
     STEP_END,
     STEP_START,
 )
+from repro.observability.ledger import PredictionLedger
 from repro.observability.metrics import MetricsRegistry
 from repro.observability.tracer import Tracer
 from repro.staging.area import AnalysisJob, StagingArea
@@ -47,12 +48,15 @@ __all__ = ["CoupledWorkflow", "run_workflow"]
 class CoupledWorkflow:
     """One workflow run; construct, then :meth:`run`.
 
-    ``tracer`` and ``metrics`` are optional observability hooks
-    (:mod:`repro.observability`): when injected they are shared with the
-    Monitor, the Adaptation Engine and the staging area, the tracer's
-    clock is bound to this run's simulator, and the driver itself emits
-    ``run.*``/``step.*``/``sim.stall`` events.  Left as ``None`` (the
-    default), instrumentation reduces to ``is not None`` tests.
+    ``tracer``, ``metrics`` and ``ledger`` are optional observability
+    hooks (:mod:`repro.observability`): when injected they are shared
+    with the Monitor, the Adaptation Engine and the staging area, their
+    clocks are bound to this run's simulator, and the driver itself
+    emits ``run.*``/``step.*``/``sim.stall`` events, records every
+    dispatch-time estimate against its realized value, and scores each
+    in-situ/in-transit placement against its exact counterfactual.
+    Left as ``None`` (the default), instrumentation reduces to
+    ``is not None`` tests.
     """
 
     def __init__(
@@ -61,6 +65,7 @@ class CoupledWorkflow:
         trace: WorkloadTrace,
         tracer: Tracer | None = None,
         metrics: MetricsRegistry | None = None,
+        ledger: PredictionLedger | None = None,
     ):
         if not len(trace):
             raise WorkflowError("trace has no steps")
@@ -69,8 +74,11 @@ class CoupledWorkflow:
         self.sim = Simulator()
         self.tracer = tracer
         self.metrics = metrics
+        self.ledger = ledger
         if tracer is not None:
             tracer.bind_clock(lambda: self.sim.now)
+        if ledger is not None:
+            ledger.bind_clock(lambda: self.sim.now)
         self.machine, self.network = build_workflow_machine(
             self.sim, config.spec, config.sim_cores, config.staging_cores
         )
@@ -84,6 +92,7 @@ class CoupledWorkflow:
             memory_bytes=staging_partition.total_memory,
             tracer=tracer,
             metrics=metrics,
+            ledger=ledger,
         )
         self.pfs = ParallelFileSystem(
             self.sim,
@@ -103,6 +112,7 @@ class CoupledWorkflow:
             estimate_bias=config.estimator_bias,
             tracer=tracer,
             metrics=metrics,
+            ledger=ledger,
         )
         layers = config.mode.adaptive_layers
         if layers is None:
@@ -112,6 +122,7 @@ class CoupledWorkflow:
                 hybrid_placement=config.hybrid_placement,
                 tracer=tracer,
                 metrics=metrics,
+                ledger=ledger,
             )
         elif layers:
             self.engine = AdaptationEngine(
@@ -121,6 +132,7 @@ class CoupledWorkflow:
                 hybrid_placement=config.hybrid_placement,
                 tracer=tracer,
                 metrics=metrics,
+                ledger=ledger,
             )
         else:
             self.engine = None
@@ -267,6 +279,13 @@ class CoupledWorkflow:
                 self.staging.set_active_cores(
                     min(decision.staging_cores, self.staging.total_cores)
                 )
+                if self.ledger is not None and self.ledger.has_pending(
+                    "staging_cores", record.step
+                ):
+                    self.ledger.resolve(
+                        "staging_cores", record.step,
+                        float(self.staging.active_cores),
+                    )
 
             placement = decision.placement or Placement.IN_TRANSIT
             metric = StepMetrics(
@@ -286,11 +305,21 @@ class CoupledWorkflow:
                 fraction = decision.insitu_fraction
                 insitu_work = out_work * fraction
                 analysis_seconds = insitu_work / (rate * n_cores)
+                if self.ledger is not None and insitu_work > 0:
+                    self.ledger.predict(
+                        "insitu_time", record.step,
+                        self.monitor.estimate_insitu(insitu_work, n_cores),
+                        mechanism="monitor",
+                    )
                 yield self.sim.timeout(analysis_seconds)
                 metric.insitu_seconds += analysis_seconds
                 if insitu_work > 0:
                     self.monitor.observe_insitu(insitu_work, n_cores,
                                                 analysis_seconds)
+                    if self.ledger is not None:
+                        self.ledger.resolve(
+                            "insitu_time", record.step, analysis_seconds
+                        )
                 ship_bytes = out_bytes * (1.0 - fraction)
                 ship_work = out_work * (1.0 - fraction)
                 blocked_from = self.sim.now
@@ -305,6 +334,7 @@ class CoupledWorkflow:
                     yield self.sim.any_of(pending)
                 metric.block_seconds = self.sim.now - blocked_from
                 self._note_stall(metric, "staging_memory")
+                self._predict_shipment(record.step, ship_bytes, ship_work)
                 job = self.staging.submit(record.step, ship_bytes, ship_work)
                 self._outstanding.append(job)
                 job.done.add_callback(
@@ -320,11 +350,27 @@ class CoupledWorkflow:
                 self._post_tasks.append((metric, out_bytes, out_work))
             elif placement is Placement.IN_SITU:
                 analysis_seconds = out_work / (rate * n_cores)
+                if self.ledger is not None:
+                    self.ledger.predict(
+                        "insitu_time", record.step,
+                        self.monitor.estimate_insitu(out_work, n_cores),
+                        mechanism="monitor",
+                    )
+                    self._record_placement(record.step, "in_situ", out_work)
                 yield self.sim.timeout(analysis_seconds)
                 metric.insitu_seconds += analysis_seconds
                 metric.analysis_done_at = self.sim.now
                 self.monitor.observe_insitu(out_work, n_cores, analysis_seconds)
+                if self.ledger is not None:
+                    self.ledger.resolve(
+                        "insitu_time", record.step, analysis_seconds
+                    )
+                    self.ledger.resolve_placement(
+                        record.step, realized_insitu=analysis_seconds
+                    )
             else:
+                if self.ledger is not None:
+                    self._record_placement(record.step, "in_transit", out_work)
                 blocked_from = self.sim.now
                 while not self.staging.can_fit(out_bytes):
                     pending = [j.done for j in self._outstanding if not j.done.triggered]
@@ -336,6 +382,7 @@ class CoupledWorkflow:
                     yield self.sim.any_of(pending)
                 metric.block_seconds = self.sim.now - blocked_from
                 self._note_stall(metric, "staging_memory")
+                self._predict_shipment(record.step, out_bytes, out_work)
                 job = self.staging.submit(record.step, out_bytes, out_work)
                 self._outstanding.append(job)
                 job.done.add_callback(
@@ -356,9 +403,15 @@ class CoupledWorkflow:
                 )
 
         # Drain: the run ends when the staging pipeline is empty too (Eq. 6).
+        sim_pipeline_end = self.sim.now
         pending = [j.done for j in self._outstanding if not j.done.triggered]
         if pending:
             yield self.sim.all_of(pending)
+        if self.ledger is not None:
+            # Score placements now that every job's finish time is known;
+            # the unhidden tail is measured against the simulation
+            # pipeline's own end, not the drain's.
+            self.ledger.finalize(sim_pipeline_end)
 
         # Post-processing phase: read everything back and analyse it on the
         # staging (analysis-cluster) cores, step by step.
@@ -425,6 +478,54 @@ class CoupledWorkflow:
             decision.placement = Placement.IN_TRANSIT
         return decision
 
+    def _record_placement(
+        self, step: int, chosen: str, work_units: float
+    ) -> None:
+        """Ledger a placement's estimated and simulator-true costs.
+
+        Called at dispatch time (before any memory stall), so the
+        backlog is what the decision actually faced.  The true
+        components come from the simulator's own rates -- exact
+        hindsight, not another estimate.
+        """
+        assert self.ledger is not None
+        rate = self.config.spec.core_rate
+        n_cores = self.config.sim_cores
+        backlog = self.staging.estimated_remaining_time()
+        self.ledger.record_placement(
+            step,
+            chosen,
+            est_insitu=self.monitor.estimate_insitu(work_units, n_cores),
+            est_intransit=backlog + self.monitor.estimate_intransit(
+                work_units, self.staging.active_cores
+            ),
+            insitu_true=work_units / (rate * n_cores),
+            backlog_true=backlog,
+            service_true=self.staging.service_time(work_units),
+            dispatched_at=self.sim.now,
+        )
+
+    def _predict_shipment(
+        self, step: int, nbytes: float, work_units: float
+    ) -> None:
+        """Ledger the service/transfer estimates for a staged shipment."""
+        if self.ledger is None:
+            return
+        if work_units > 0:
+            self.ledger.predict(
+                "intransit_time", step,
+                self.monitor.estimate_intransit(
+                    work_units, self.staging.active_cores
+                ),
+                mechanism="monitor",
+            )
+        if nbytes > 0:
+            self.ledger.predict(
+                "transfer_time", step,
+                self.monitor.estimate_send(nbytes),
+                mechanism="monitor",
+            )
+
     def _note_stall(self, metric: StepMetrics, cause: str) -> None:
         """Publish a simulation stall (no-op when nothing blocked)."""
         if metric.block_seconds <= 0:
@@ -444,9 +545,20 @@ class CoupledWorkflow:
         duration = job.finished_at - job.started_at
         if duration > 0 and job.work_units > 0:
             self.monitor.observe_intransit(job.work_units, job.cores_used, duration)
+            if self.ledger is not None:
+                self.ledger.resolve("intransit_time", job.step, duration)
         transfer = job.ingest_done.value
         if transfer.elapsed and transfer.size > 0:
             self.monitor.observe_transfer(transfer.size, transfer.elapsed)
+            if self.ledger is not None:
+                self.ledger.resolve("transfer_time", job.step, transfer.elapsed)
+        if self.ledger is not None:
+            # No-op for hybrid steps (not recorded as scored placements).
+            self.ledger.resolve_placement(
+                job.step,
+                block_seconds=metric.block_seconds,
+                finished_at=job.finished_at,
+            )
 
 
 def run_workflow(
@@ -454,6 +566,9 @@ def run_workflow(
     trace: WorkloadTrace,
     tracer: Tracer | None = None,
     metrics: MetricsRegistry | None = None,
+    ledger: PredictionLedger | None = None,
 ) -> WorkflowResult:
     """Convenience: build and run a workflow in one call."""
-    return CoupledWorkflow(config, trace, tracer=tracer, metrics=metrics).run()
+    return CoupledWorkflow(
+        config, trace, tracer=tracer, metrics=metrics, ledger=ledger
+    ).run()

@@ -1,0 +1,72 @@
+"""Smoke tests for the ``repro audit`` CLI subcommand."""
+
+import json
+
+from repro.__main__ import SUBCOMMANDS, main
+from repro.observability import SNAPSHOT_SCHEMA, load_snapshot
+
+
+class TestAuditCommand:
+    def test_prints_calibration_table_and_regret(self, capsys):
+        assert main(["audit", "--steps", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "Calibration" in out
+        assert "MAPE%" in out
+        assert "sim_step_time" in out
+        assert "placement regret" in out
+        assert "decisions scored" in out
+
+    def test_bias_knob_shows_up_as_bias(self, capsys):
+        assert main(["audit", "--steps", "6", "--bias", "1.5"]) == 0
+        out = capsys.readouterr().out
+        assert "bias=1.5" in out
+        row = next(line for line in out.splitlines()
+                   if line.startswith("insitu_time"))
+        # A 1.5x multiplicative estimator bias is exactly +50% signed error.
+        assert "50.0" in row
+
+    def test_export_writes_a_loadable_snapshot(self, capsys, tmp_path):
+        path = tmp_path / "run.json"
+        assert main(["audit", "--steps", "5", "--export", str(path)]) == 0
+        snap = load_snapshot(path)
+        assert snap["schema"] == SNAPSHOT_SCHEMA
+        assert snap["calibration"]
+        assert snap["placements"]
+
+    def test_prometheus_export(self, capsys, tmp_path):
+        path = tmp_path / "metrics.prom"
+        assert main(["audit", "--steps", "5", "--prometheus", str(path)]) == 0
+        text = path.read_text()
+        assert "repro_ledger_predictions_total" in text
+        assert "repro_placement_regret_seconds_total" in text
+
+    def test_diff_of_two_exports_reports_drift(self, capsys, tmp_path):
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        assert main(["audit", "--steps", "6", "--export", str(a)]) == 0
+        assert main(["audit", "--steps", "6", "--bias", "1.5",
+                     "--export", str(b)]) == 0
+        capsys.readouterr()
+        assert main(["audit", "--diff", str(a), str(b)]) == 0
+        out = capsys.readouterr().out
+        assert "drift:" in out
+        assert "insitu_time" in out
+        assert "regret:" in out
+
+    def test_diff_of_identical_runs_is_quiet_about_placements(
+        self, capsys, tmp_path
+    ):
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        assert main(["audit", "--steps", "5", "--export", str(a)]) == 0
+        assert main(["audit", "--steps", "5", "--export", str(b)]) == 0
+        assert json.loads(a.read_text())["placements"] == \
+            json.loads(b.read_text())["placements"]
+        capsys.readouterr()
+        assert main(["audit", "--diff", str(a), str(b)]) == 0
+        assert "identical on shared steps" in capsys.readouterr().out
+
+    def test_audit_listed(self, capsys):
+        assert "audit" in SUBCOMMANDS
+        assert main(["list"]) == 0
+        assert "audit" in capsys.readouterr().out

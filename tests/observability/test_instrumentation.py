@@ -4,7 +4,14 @@ causally ordered event stream without perturbing the run itself."""
 import pytest
 
 from repro.hpc.systems import titan
-from repro.observability import EVENT_KINDS, METRIC_NAMES, MetricsRegistry, Tracer
+from repro.observability import (
+    EVENT_KINDS,
+    METRIC_NAMES,
+    QUANTITIES,
+    MetricsRegistry,
+    PredictionLedger,
+    Tracer,
+)
 from repro.observability.events import (
     ADAPT_DECISION,
     MONITOR_SAMPLE,
@@ -35,18 +42,20 @@ def _config(mode=Mode.GLOBAL):
 def traced_run():
     tracer = Tracer()
     metrics = MetricsRegistry()
-    result = run_workflow(_config(), _trace(), tracer=tracer, metrics=metrics)
-    return tracer, metrics, result
+    ledger = PredictionLedger()
+    result = run_workflow(_config(), _trace(), tracer=tracer,
+                          metrics=metrics, ledger=ledger)
+    return tracer, metrics, ledger, result
 
 
 class TestEventStream:
     def test_every_step_has_boundaries(self, traced_run):
-        tracer, _metrics, result = traced_run
+        tracer, _metrics, _ledger, result = traced_run
         assert len(tracer.events(kind=STEP_START)) == len(result.steps)
         assert len(tracer.events(kind=STEP_END)) == len(result.steps)
 
     def test_one_decision_per_sampled_step_with_inputs(self, traced_run):
-        tracer, _metrics, result = traced_run
+        tracer, _metrics, _ledger, result = traced_run
         decisions = tracer.events(kind=ADAPT_DECISION)
         # monitor_interval defaults to 1: every step is sampled.
         assert len(decisions) == len(result.steps)
@@ -57,13 +66,13 @@ class TestEventStream:
                 assert key in event.fields
 
     def test_monitor_sample_precedes_its_decision(self, traced_run):
-        tracer, _metrics, _result = traced_run
+        tracer, _metrics, _ledger, _result = traced_run
         for decision in tracer.events(kind=ADAPT_DECISION):
             samples = tracer.events(kind=MONITOR_SAMPLE, step=decision.step)
             assert samples and samples[0].seq < decision.seq
 
     def test_staging_lifecycle_is_causally_ordered(self, traced_run):
-        tracer, _metrics, _result = traced_run
+        tracer, _metrics, _ledger, _result = traced_run
         submits = {e.fields["job_id"]: e for e in tracer.events(kind=STAGING_SUBMIT)}
         assert submits, "expected at least one in-transit placement"
         for kind in (STAGING_INGEST, STAGING_JOB_START, STAGING_JOB_END):
@@ -77,22 +86,22 @@ class TestEventStream:
             assert starts and starts[0].ts <= end.ts
 
     def test_all_emitted_kinds_are_registered(self, traced_run):
-        tracer, _metrics, _result = traced_run
+        tracer, _metrics, _ledger, _result = traced_run
         assert tracer.kinds_seen() <= set(EVENT_KINDS)
 
     def test_all_published_metrics_are_registered(self, traced_run):
-        _tracer, metrics, _result = traced_run
+        _tracer, metrics, _ledger, _result = traced_run
         assert set(metrics.names()) <= set(METRIC_NAMES)
 
     def test_timestamps_are_monotone_in_seq(self, traced_run):
-        tracer, _metrics, _result = traced_run
+        tracer, _metrics, _ledger, _result = traced_run
         events = tracer.events()
         assert all(a.ts <= b.ts for a, b in zip(events, events[1:]))
 
     def test_jsonl_roundtrip_of_a_real_run(self, traced_run, tmp_path):
         from repro.observability import read_jsonl
 
-        tracer, _metrics, _result = traced_run
+        tracer, _metrics, _ledger, _result = traced_run
         path = tmp_path / "run.jsonl"
         tracer.to_jsonl(path)
         assert read_jsonl(path) == tracer.events()
@@ -100,21 +109,67 @@ class TestEventStream:
 
 class TestZeroOverheadPath:
     def test_uninstrumented_run_is_bitwise_identical(self, traced_run):
-        _tracer, _metrics, instrumented = traced_run
+        _tracer, _metrics, _ledger, instrumented = traced_run
         plain = run_workflow(_config(), _trace())
         assert plain == instrumented
 
     def test_disabled_tracer_records_nothing_and_changes_nothing(self, traced_run):
-        _tracer, _metrics, instrumented = traced_run
+        _tracer, _metrics, _ledger, instrumented = traced_run
         tracer = Tracer(enabled=False)
         result = run_workflow(_config(), _trace(), tracer=tracer)
         assert len(tracer) == 0
         assert result == instrumented
 
+    def test_ledger_only_run_is_bitwise_identical(self, traced_run):
+        _tracer, _metrics, _ledger, instrumented = traced_run
+        result = run_workflow(_config(), _trace(), ledger=PredictionLedger())
+        assert result == instrumented
+
+
+class TestLedgerStream:
+    def test_all_quantities_are_registered(self, traced_run):
+        _tracer, _metrics, ledger, _result = traced_run
+        assert ledger.quantities_seen() <= set(QUANTITIES)
+
+    def test_every_dispatched_step_predicts_and_resolves(self, traced_run):
+        _tracer, _metrics, ledger, result = traced_run
+        # monitor_interval=1: every step yields fresh decisions, so every
+        # prediction (except the final step's next-sim-time forecast)
+        # meets its realization.
+        assert len(ledger) > 0
+        assert ledger.pending_count() == ledger.pending_count("sim_step_time")
+        assert ledger.pending_count("sim_step_time") <= 1
+        assert ledger.unmatched == 0
+
+    def test_placements_scored_for_every_singular_placement(self, traced_run):
+        _tracer, _metrics, ledger, result = traced_run
+        singular = [m for m in result.steps
+                    if m.placement.value in ("in_situ", "in_transit")]
+        assert len(ledger.placements) == len(singular)
+        assert all(p.scored for p in ledger.placements)
+
+    def test_placement_costs_are_finite_and_nonnegative(self, traced_run):
+        _tracer, _metrics, ledger, _result = traced_run
+        for p in ledger.placements:
+            assert p.chosen_cost >= 0
+            assert p.alt_cost >= 0
+            assert p.regret >= 0
+
+    def test_prediction_timestamps_precede_realizations(self, traced_run):
+        _tracer, _metrics, ledger, _result = traced_run
+        for record in ledger.resolved_records():
+            assert record.predicted_at <= record.realized_at
+
+    def test_intransit_predictions_match_job_count(self, traced_run):
+        tracer, _metrics, ledger, _result = traced_run
+        submits = tracer.events(kind=STAGING_SUBMIT)
+        assert len(ledger.records("intransit_time")) == len(submits)
+        assert len(ledger.records("transfer_time")) == len(submits)
+
 
 class TestMetricsConsistency:
     def test_counters_match_result_aggregates(self, traced_run):
-        tracer, metrics, result = traced_run
+        tracer, metrics, _ledger, result = traced_run
         values = metrics.as_dict()
         assert values["workflow.steps"] == len(result.steps)
         assert values["engine.decisions"] == len(

@@ -1,0 +1,65 @@
+"""Truncation behaviour of the trace renderers.
+
+A wrapped ring buffer must announce itself in both views; an unwrapped
+one must not.
+"""
+
+from repro.observability import Tracer, decision_timeline, occupancy_gantt
+from repro.observability.events import ADAPT_DECISION, STEP_END, STEP_START
+
+BANNER = "!! trace truncated"
+
+
+def _small_traced_run(capacity):
+    tracer = Tracer(capacity=capacity)
+    now = [0.0]
+    tracer.bind_clock(lambda: now[0])
+    for step in range(6):
+        tracer.emit(STEP_START, step=step)
+        tracer.emit(ADAPT_DECISION, step=step, factor=1, placement="in_situ",
+                    staging_cores=None, est_intransit_remaining=0.0,
+                    est_insitu_time=1.0, est_intransit_time=2.0)
+        now[0] += 1.0
+        tracer.emit(STEP_END, step=step)
+    return tracer
+
+
+class TestTruncationBanner:
+    def test_unwrapped_trace_has_no_banner(self):
+        tracer = _small_traced_run(capacity=1000)
+        assert tracer.dropped == 0
+        assert BANNER not in decision_timeline(tracer)
+        assert BANNER not in occupancy_gantt(tracer)
+
+    def test_wrapped_trace_banners_both_views(self):
+        tracer = _small_traced_run(capacity=8)
+        assert tracer.dropped == 18 - 8
+        for render in (decision_timeline, occupancy_gantt):
+            text = render(tracer)
+            first = text.splitlines()[0]
+            assert first.startswith(BANNER)
+            assert "capacity 8" in first
+            assert "evicted 10" in first
+            assert "newest 8" in first
+
+    def test_empty_trace_paths(self):
+        tracer = Tracer()
+        assert decision_timeline(tracer) == "(no adaptation decisions in trace)"
+        assert occupancy_gantt(tracer) == "(empty trace)"
+
+    def test_wrapped_but_decisionless_trace_still_banners(self):
+        tracer = Tracer(capacity=2)
+        for step in range(5):
+            tracer.emit(STEP_START, step=step)
+        timeline = decision_timeline(tracer)
+        assert timeline.splitlines()[0].startswith(BANNER)
+        assert "(no adaptation decisions in trace)" in timeline
+
+    def test_renderers_still_show_surviving_events(self):
+        tracer = _small_traced_run(capacity=8)
+        timeline = decision_timeline(tracer)
+        # Capacity 8 keeps the newest 8 of 18 events: steps 3-5 survive
+        # with their decisions intact.
+        assert " 5" in timeline
+        gantt = occupancy_gantt(tracer)
+        assert "sim      |" in gantt

@@ -13,7 +13,12 @@ import pytest
 
 import repro.observability as observability
 from repro.__main__ import EXPERIMENTS, SUBCOMMANDS
-from repro.observability import EVENT_KINDS, METRIC_NAMES
+from repro.observability import (
+    EVENT_KINDS,
+    METRIC_NAMES,
+    QUANTITIES,
+    SNAPSHOT_SCHEMA,
+)
 
 REPO = Path(__file__).resolve().parent.parent
 OBSERVABILITY_DOC = REPO / "docs" / "observability.md"
@@ -47,6 +52,17 @@ class TestObservabilityDocs:
         missing = [name for name in METRIC_NAMES
                    if f"`{name}`" not in observability_doc]
         assert not missing, f"undocumented metric names: {missing}"
+
+    def test_every_quantity_documented(self, observability_doc):
+        missing = [name for name in QUANTITIES
+                   if f"`{name}`" not in observability_doc]
+        assert not missing, f"undocumented ledger quantities: {missing}"
+
+    def test_snapshot_schema_documented(self, observability_doc):
+        assert SNAPSHOT_SCHEMA in observability_doc, (
+            f"snapshot schema string {SNAPSHOT_SCHEMA!r} must appear in "
+            "docs/observability.md"
+        )
 
 
 class TestCliDocs:
