@@ -7,6 +7,12 @@ static in-transit and adaptive middleware placement, and prints the
 paper's headline metrics: end-to-end time, overhead and data movement.
 
 Run:  python examples/quickstart.py
+
+The paper-figure experiments (``python -m repro list``) memoize their
+deterministic solver runs through ``repro.experiments.cache``; set
+``REPRO_NO_CACHE=1`` to force every run to recompute from scratch, or
+``REPRO_CACHE_DIR=.cache`` to persist artifacts across processes (the
+outputs are bit-identical either way — see docs/performance.md).
 """
 
 from repro.units import format_bytes, format_seconds

@@ -10,6 +10,7 @@ Usage::
     python -m repro trace --steps 20 --jsonl trace.jsonl
     python -m repro audit --steps 20 --export run.json
     python -m repro audit --diff a.json b.json
+    python -m repro bench-diff benchmarks/BENCH_old.json benchmarks/BENCH_new.json
 
 ``trace`` is the observability workflow: it replays the quickstart
 workload with a :class:`~repro.observability.Tracer` and
@@ -24,6 +25,11 @@ counterfactual placement regret.  ``--export`` writes a versioned JSON
 snapshot, ``--prometheus`` writes the text exposition format, and
 ``--diff A B`` compares two exported snapshots (estimate-error drift,
 regret delta, decision flips) without running anything.
+
+``bench-diff`` compares two benchmark wall-time snapshots
+(``benchmarks/BENCH_<rev>.json``, written at the end of a ``pytest
+benchmarks`` session) and prints the per-benchmark drift, slowest
+first, plus the aggregate speedup.
 """
 
 from __future__ import annotations
@@ -36,7 +42,7 @@ from pathlib import Path
 __all__ = ["SUBCOMMANDS", "main"]
 
 #: Non-experiment subcommands (the docs-consistency test keys off this).
-SUBCOMMANDS = ("list", "all", "trace", "audit")
+SUBCOMMANDS = ("list", "all", "trace", "audit", "bench-diff")
 
 
 def _fig1() -> str:
@@ -277,6 +283,24 @@ def _audit_command(argv: list[str]) -> int:
     return 0
 
 
+def _bench_diff_command(argv: list[str]) -> int:
+    """The ``repro bench-diff`` subcommand: compare two perf snapshots."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro bench-diff",
+        description="Compare two benchmark wall-time snapshots "
+        "(benchmarks/BENCH_<rev>.json, written by a `pytest benchmarks` "
+        "session) and print per-benchmark drift, slowest first.",
+    )
+    parser.add_argument("snapshot_a", help="baseline snapshot path")
+    parser.add_argument("snapshot_b", help="comparison snapshot path")
+    args = parser.parse_args(argv)
+
+    from repro.observability import diff_bench, render_bench_diff
+
+    print(render_bench_diff(diff_bench(args.snapshot_a, args.snapshot_b)))
+    return 0
+
+
 def _trace_modes():
     from repro.workflow import Mode
 
@@ -289,6 +313,8 @@ def main(argv: list[str] | None = None) -> int:
         return _trace_command(argv[1:])
     if argv and argv[0] == "audit":
         return _audit_command(argv[1:])
+    if argv and argv[0] == "bench-diff":
+        return _bench_diff_command(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -296,7 +322,8 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        help="experiment id (see 'list'), 'all', 'list', 'trace', or 'audit'",
+        help="experiment id (see 'list'), 'all', 'list', 'trace', "
+        "'audit', or 'bench-diff'",
     )
     args = parser.parse_args(argv)
 
@@ -308,6 +335,8 @@ def main(argv: list[str] | None = None) -> int:
               "timeline + occupancy Gantt (see 'trace --help')")
         print(f"{'audit'.ljust(width)}  prediction-ledger replay: "
               "calibration report + placement regret (see 'audit --help')")
+        print(f"{'bench-diff'.ljust(width)}  compare two benchmark "
+              "wall-time snapshots (see 'bench-diff --help')")
         return 0
 
     if args.experiment == "all":

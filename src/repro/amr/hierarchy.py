@@ -24,13 +24,31 @@ import numpy as np
 
 from repro.amr.box import Box
 from repro.amr.clustering import cluster_tags
-from repro.amr.coarsefine import prolong, restrict
+from repro.amr.coarsefine import restrict
 from repro.amr.layout import BoxLayout
 from repro.amr.level import LevelData
 from repro.amr.tagging import buffer_tags
 from repro.errors import HierarchyError
 
 __all__ = ["AMRHierarchy", "LevelSpec"]
+
+
+def _flat_strides(shape: tuple[int, ...]) -> list[int]:
+    """Row-major flat-index strides of a spatial ``shape``."""
+    strides = [1] * len(shape)
+    for d in range(len(shape) - 2, -1, -1):
+        strides[d] = strides[d + 1] * shape[d + 1]
+    return strides
+
+
+def _restrict_batched(stacked: np.ndarray, ratio: int) -> np.ndarray:
+    """:func:`~repro.amr.coarsefine.restrict` over a ``(nbox, ncomp, ...)`` stack."""
+    new_shape = list(stacked.shape[:2])
+    for s in stacked.shape[2:]:
+        new_shape.extend([s // ratio, ratio])
+    reshaped = stacked.reshape(new_shape)
+    mean_axes = tuple(3 + 2 * d for d in range(stacked.ndim - 2))
+    return reshaped.mean(axis=mean_axes)
 
 
 @dataclass
@@ -147,73 +165,141 @@ class AMRHierarchy:
         return moved
 
     def _fill_from_coarser(self, level: int, include_interior: bool = False) -> None:
-        """Prolong coarse data over each fine box's grown region.
+        """Interpolate coarse data onto fine ghost (and optionally valid) cells.
 
-        With ``include_interior`` (used when regridding creates new fine
-        boxes) the interpolation covers the valid cells too; during
-        ordinary ghost fills the interior is preserved.
+        Ordinary ghost fills only need the coarse-fine boundary cells:
+        ghosts covered by another fine box's valid data are refreshed by
+        the same-level exchange that always follows, and the valid
+        interior is never touched.  Those surviving cells are gathered in
+        one vectorized pass from a single dense coarse array per call,
+        with van-Leer slopes evaluated only at their parent cells --
+        bit-identical to prolonging each box's whole grown region because
+        the limited slopes are local (one coarse neighbour per side).
+
+        When regridding creates new boxes (``include_interior``) the same
+        gather covers the valid cells instead; ghost cells are left as
+        they are, since every consumer of ghost data sits behind the
+        :meth:`fill_ghosts` that opens the next step.
         """
         fine = self.levels[level]
         coarse = self.levels[level - 1]
         r = self.ref_ratio
         g = fine.data.nghost
-        level_domain = self.level_domain(level)
-        del coarse
-        for i, box in enumerate(fine.layout):
-            grown = box.grow(g)
-            # Work in coarse index space, padded one cell for slopes.
-            coarse_region = grown.coarsen(r).grow(1)
-            dense = self._dense_coarse(level - 1, coarse_region)
-            interp = prolong(dense, r, order=1)
-            fine_region = coarse_region.refine(r)
-            # Copy the part overlapping the grown fine box -- ghosts only:
-            # the box's own valid interior must never be clobbered by
-            # interpolated coarse data (same-level exchange later refreshes
-            # ghosts that other fine boxes cover with their valid data).
-            interior = None if include_interior else fine.data.valid_view(i).copy()
-            target = grown if self.periodic else grown.intersect(level_domain)
-            copy_region = target.intersect(fine_region)
-            src_slc = copy_region.slices(origin=fine_region)
-            dst_slc = copy_region.slices(origin=grown)
-            fine.data.data[i][(slice(None), *dst_slc)] = interp[(slice(None), *src_slc)]
-            if interior is not None:
-                fine.data.valid_view(i)[...] = interior
+        cdomain = self.level_domain(level - 1)
+        ndim = cdomain.ndim
+        # Parents of any fine ghost cell lie within ceil(g/r) coarse cells
+        # of the domain; one more ring supplies their slope neighbours.
+        pad = -(-g // r) + 1
 
-    def _dense_coarse(self, level: int, region: Box) -> np.ndarray:
-        """Dense data of ``level`` over ``region``.
+        plan = self._ghost_fill_plan(level, pad, interior=include_interior)
+        if plan is None:
+            return
 
-        Cells outside the level's domain are filled by periodic wrapping
-        (periodic hierarchies) or edge extension (non-periodic), so slope
-        computation in :func:`prolong` never sees garbage.
+        dense = coarse.data.to_dense(cdomain, fill=0.0)
+        # Out-of-domain coarse values: periodic wrap or edge extension,
+        # exactly what the per-region assembly used to produce.
+        mode = "wrap" if self.periodic else "edge"
+        padded = np.pad(dense, [(0, 0)] + [(pad, pad)] * ndim, mode=mode)
+
+        parent, offsets, scatter = plan
+        flat = padded.reshape(self.ncomp, -1)
+        strides = _flat_strides(padded.shape[1:])
+        cur = flat[:, parent]
+        vals = cur
+        for axis in range(ndim):
+            st = strides[axis]
+            nxt = flat[:, parent + st]
+            prv = flat[:, parent - st]
+            # Van-Leer limited central slope, replicating _limited_slope's
+            # arithmetic op for op so the gathered values match prolong's.
+            fwd = nxt - cur
+            bwd = cur - prv
+            central = 0.5 * (fwd + bwd)
+            same_sign = (fwd * bwd) > 0
+            mag = np.minimum(np.abs(central), 2 * np.minimum(np.abs(fwd), np.abs(bwd)))
+            slope = np.where(same_sign, np.sign(central) * mag, 0.0)
+            vals = vals + slope * offsets[axis]
+        for i, dst, start, stop in scatter:
+            fine.data.data[i].reshape(self.ncomp, -1)[:, dst] = vals[:, start:stop]
+
+    def _ghost_fill_plan(
+        self, level: int, pad: int, interior: bool = False
+    ) -> tuple[np.ndarray, list[np.ndarray], list] | None:
+        """Gather/scatter plan for the coarse-fine ghost fill of ``level``.
+
+        For every fine box, the plan lists the ghost cells *not* covered by
+        any same-level neighbour (those are the cells whose interpolated
+        values survive the subsequent exchange), their parent cell's flat
+        index in the padded dense coarse array, and the per-axis fractional
+        offsets of the fine centres inside the parent cell.  With
+        ``interior`` the plan instead covers each box's valid cells (the
+        regrid fill).  Layouts are immutable, so the plan is cached on the
+        fine layout.  Returns ``None`` when no cell needs interpolation.
         """
-        coarse = self.levels[level]
-        domain = self.level_domain(level)
-        if domain.contains_box(region):
-            return coarse.data.to_dense(region, fill=0.0)
-        if self.periodic:
-            # Assemble from shifted images of the domain.
-            out = np.zeros((self.ncomp, *region.shape))
-            extents = domain.shape
-            offsets = [(-e, 0, e) for e in extents]
-            grid = np.stack(np.meshgrid(*offsets, indexing="ij"), -1).reshape(-1, len(extents))
-            for shift in grid:
-                shift = tuple(int(v) for v in shift)
-                image = domain.shift(shift)
-                overlap = region.intersect(image)
-                if overlap.is_empty():
-                    continue
-                src = coarse.data.to_dense(
-                    overlap.shift(tuple(-s for s in shift)), fill=0.0
-                )
-                out[(slice(None), *overlap.slices(origin=region))] = src
-            return out
-        # Non-periodic: dense over the clipped region, edge-padded outward.
-        clipped = region.intersect(domain)
-        inner = coarse.data.to_dense(clipped, fill=0.0)
-        pad = [(0, 0)]
-        for d in range(len(region.shape)):
-            pad.append((clipped.lo[d] - region.lo[d], region.hi[d] - clipped.hi[d]))
-        return np.pad(inner, pad, mode="edge")
+        fine = self.levels[level]
+        layout = fine.layout
+        g = fine.data.nghost
+        r = self.ref_ratio
+        cdomain = self.level_domain(level - 1)
+        key = (g, r, self.periodic, cdomain, interior)
+        cache = getattr(layout, "_coarse_fill_plans", None)
+        if cache is None:
+            cache = {}
+            layout._coarse_fill_plans = cache
+        if key in cache:
+            return cache[key]
+        ndim = cdomain.ndim
+        level_domain = self.level_domain(level)
+        domain_arg = level_domain if self.periodic else None
+        pshape = tuple(s + 2 * pad for s in cdomain.shape)
+        strides = _flat_strides(pshape)
+        # Same table prolong uses: (k + 0.5)/ratio - 0.5 per fine sub-cell.
+        offs_table = (np.arange(r) + 0.5) / r - 0.5
+        parent_parts: list[np.ndarray] = []
+        offset_parts: list[list[np.ndarray]] = [[] for _ in range(ndim)]
+        scatter: list[tuple[int, np.ndarray, int, int]] = []
+        total = 0
+        for i, box in enumerate(layout):
+            grown = box.grow(g)
+            if interior:
+                mask = np.zeros(grown.shape, dtype=bool)
+                mask[box.slices(origin=grown)] = True
+            else:
+                mask = np.ones(grown.shape, dtype=bool)
+                mask[box.slices(origin=grown)] = False
+                if not self.periodic:
+                    # Ghosts past the physical boundary belong to fill_physical.
+                    keep = np.zeros(grown.shape, dtype=bool)
+                    inside = grown.intersect(level_domain)
+                    if not inside.is_empty():
+                        keep[inside.slices(origin=grown)] = True
+                    mask &= keep
+                for j, shift in layout.neighbors(i, radius=g, periodic_domain=domain_arg):
+                    covered = grown.intersect(layout.boxes[j].shift(shift))
+                    if covered.is_empty():
+                        continue
+                    mask[covered.slices(origin=grown)] = False
+            idx = np.nonzero(mask.ravel())[0]
+            if idx.size == 0:
+                continue
+            coords = np.unravel_index(idx, grown.shape)
+            pidx = np.zeros(idx.size, dtype=np.int64)
+            for axis in range(ndim):
+                gx = coords[axis].astype(np.int64) + grown.lo[axis]
+                pc = gx // r
+                offset_parts[axis].append(offs_table[gx - pc * r])
+                pidx += (pc - (cdomain.lo[axis] - pad)) * strides[axis]
+            parent_parts.append(pidx)
+            scatter.append((i, idx, total, total + idx.size))
+            total += idx.size
+        if total == 0:
+            plan = None
+        else:
+            parent = np.concatenate(parent_parts)
+            offsets = [np.concatenate(parts) for parts in offset_parts]
+            plan = (parent, offsets, scatter)
+        cache[key] = plan
+        return plan
 
     def average_down(self) -> None:
         """Restrict every fine level onto the coarser one beneath it."""
@@ -229,20 +315,68 @@ class AMRHierarchy:
         r = self.ref_ratio
         fine = self.levels[fine_level]
         coarse = self.levels[fine_level - 1]
+        # Restrict same-shape fine boxes in one stacked call: the blockwise
+        # mean reduces over the same trailing sub-axes either way, so the
+        # batched result is bit-identical to per-box restriction.
+        averaged: list[np.ndarray | None] = [None] * len(fine.layout)
+        groups: dict[tuple[int, ...], list[int]] = {}
         for i, fbox in enumerate(fine.layout):
-            cbox = fbox.coarsen(r)
-            fine_view = fine.data.valid_view(i)
-            averaged = restrict(fine_view, r)
-            # Scatter into the coarse boxes it overlaps.
-            for j, cb in enumerate(coarse.layout):
-                overlap = cbox.intersect(cb)
-                if overlap.is_empty():
-                    continue
-                dst_slc = overlap.slices(origin=coarse.data.grown_box(j))
-                src_slc = overlap.slices(origin=cbox)
-                coarse.data.data[j][(slice(None), *dst_slc)] = averaged[
-                    (slice(None), *src_slc)
-                ]
+            groups.setdefault(fbox.shape, []).append(i)
+        for indices in groups.values():
+            if len(indices) == 1:
+                i = indices[0]
+                averaged[i] = restrict(fine.data.valid_view(i), r)
+            else:
+                stacked = np.stack([fine.data.valid_view(i) for i in indices], axis=0)
+                res = _restrict_batched(stacked, r)
+                for slot, i in enumerate(indices):
+                    averaged[i] = res[slot]
+        # Scatter into the coarse boxes each restriction overlaps, using
+        # the cached (fine layout, coarse layout) overlap plan.
+        for i, entries in self._avgdown_plan(fine, coarse):
+            arr = averaged[i]
+            for j, dst_idx, src_idx in entries:
+                coarse.data.data[j][dst_idx] = arr[src_idx]
+
+    def _avgdown_plan(self, fine: LevelSpec, coarse: LevelSpec) -> list:
+        """Cached overlap plan ``[(fine_i, [(coarse_j, dst_idx, src_idx)])]``.
+
+        Pair finding is vectorized over the corner arrays of both layouts;
+        the plan is cached on the fine layout and rebuilt when the coarse
+        layout object changes (the stored reference also keeps it alive,
+        so an ``is`` check can never alias a recycled object).
+        """
+        r = self.ref_ratio
+        key = (r, coarse.data.nghost)
+        cache = getattr(fine.layout, "_avgdown_plans", None)
+        if cache is not None:
+            entry = cache.get(key)
+            if entry is not None and entry[0] is coarse.layout:
+                return entry[1]
+        flos, fhis = fine.layout._corner_arrays()
+        clos, chis = coarse.layout._corner_arrays()
+        cf_lo = flos // r  # floor division, matching Box.coarsen
+        cf_hi = fhis // r
+        overlap = (
+            (cf_lo[:, None, :] <= chis[None, :, :])
+            & (clos[None, :, :] <= cf_hi[:, None, :])
+        ).all(axis=2)
+        plan = []
+        for i in range(len(fine.layout)):
+            cbox = fine.layout.boxes[i].coarsen(r)
+            entries = []
+            for j in np.nonzero(overlap[i])[0]:
+                region = cbox.intersect(coarse.layout.boxes[j])
+                dst_idx = (slice(None), *region.slices(origin=coarse.data.grown_box(j)))
+                src_idx = (slice(None), *region.slices(origin=cbox))
+                entries.append((int(j), dst_idx, src_idx))
+            if entries:
+                plan.append((i, entries))
+        if cache is None:
+            cache = {}
+            fine.layout._avgdown_plans = cache
+        cache[key] = (coarse.layout, plan)
+        return plan
 
     # -- regridding ------------------------------------------------------------
 

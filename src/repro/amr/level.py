@@ -112,23 +112,46 @@ class LevelData:
         """
         if self.nghost == 0:
             return 0
-        bytes_moved = 0
+        cells_moved = 0
+        data = self.data
+        for i, j, dst_idx, src_idx, cells in self._exchange_plan(periodic_domain):
+            data[i][dst_idx] = data[j][src_idx]
+            cells_moved += cells
+        return cells_moved * self.ncomp * self.dtype.itemsize
+
+    def _exchange_plan(
+        self, periodic_domain: Box | None
+    ) -> list[tuple[int, int, tuple, tuple, int]]:
+        """Copy plan ``(dst, src, dst_idx, src_idx, cells)`` for :meth:`exchange`.
+
+        The layout is immutable and the box geometry fixed, so the plan is
+        computed once per (nghost, domain) and cached on the layout; the
+        per-step exchange then reduces to slice assignments.
+        """
+        key = (self.nghost, periodic_domain)
+        cache = getattr(self.layout, "_exchange_plans", None)
+        if cache is None:
+            cache = {}
+            self.layout._exchange_plans = cache
+        plan = cache.get(key)
+        if plan is not None:
+            return plan
+        plan = []
         for i in range(len(self.layout)):
             dst_origin = self.grown_box(i)
-            ghosted = dst_origin
             for j, shift in self.layout.neighbors(
                 i, radius=self.nghost, periodic_domain=periodic_domain
             ):
                 src_box = self.layout.boxes[j].shift(shift)
-                region = ghosted.intersect(src_box)
+                region = dst_origin.intersect(src_box)
                 if region.is_empty():
                     continue
                 src_origin = self.grown_box(j).shift(shift)
-                dst_slc = region.slices(origin=dst_origin)
-                src_slc = region.slices(origin=src_origin)
-                self.data[i][(slice(None), *dst_slc)] = self.data[j][(slice(None), *src_slc)]
-                bytes_moved += region.size * self.ncomp * self.dtype.itemsize
-        return bytes_moved
+                dst_idx = (slice(None), *region.slices(origin=dst_origin))
+                src_idx = (slice(None), *region.slices(origin=src_origin))
+                plan.append((i, j, dst_idx, src_idx, region.size))
+        cache[key] = plan
+        return plan
 
     def fill_physical(self, domain: Box, mode: str = "edge", value: float = 0.0) -> None:
         """Fill ghost cells outside the physical ``domain``.
@@ -173,16 +196,22 @@ class LevelData:
         """
         if other.ncomp != self.ncomp:
             raise GeometryError("component count mismatch in copy_overlap_from")
-        for i, dst_box in enumerate(self.layout):
-            dst_origin = self.grown_box(i)
-            for j, src_box in enumerate(other.layout):
-                region = dst_box.intersect(src_box)
-                if region.is_empty():
-                    continue
-                src_origin = other.grown_box(j)
-                dst_slc = region.slices(origin=dst_origin)
-                src_slc = region.slices(origin=src_origin)
-                self.data[i][(slice(None), *dst_slc)] = other.data[j][(slice(None), *src_slc)]
+        if self.layout.ndim != other.layout.ndim:
+            raise GeometryError("dimension mismatch in copy_overlap_from")
+        # Vectorized pair finding: boxes i, j overlap iff lo_i <= hi_j and
+        # lo_j <= hi_i per direction.  argwhere returns row-major order,
+        # matching the nested loop this replaces.
+        dlos, dhis = self.layout._corner_arrays()
+        slos, shis = other.layout._corner_arrays()
+        overlap = (
+            (dlos[:, None, :] <= shis[None, :, :])
+            & (slos[None, :, :] <= dhis[:, None, :])
+        ).all(axis=2)
+        for i, j in np.argwhere(overlap):
+            region = self.layout.boxes[i].intersect(other.layout.boxes[j])
+            dst_slc = region.slices(origin=self.grown_box(i))
+            src_slc = region.slices(origin=other.grown_box(j))
+            self.data[i][(slice(None), *dst_slc)] = other.data[j][(slice(None), *src_slc)]
 
     def to_dense(self, region: Box | None = None, fill: float = np.nan) -> np.ndarray:
         """Assemble a dense ``(ncomp, *region.shape)`` array of interior data.

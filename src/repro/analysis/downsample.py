@@ -15,9 +15,15 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.analysis._blocks import (
+    block_counts,
+    block_slice,
+    validate_block_shape,
+)
 from repro.errors import PolicyError
 
 __all__ = [
+    "blockwise_stride_reconstruction",
     "downsample_mean",
     "downsample_memory_cost",
     "downsample_stride",
@@ -81,6 +87,70 @@ def upsample_nearest(field: np.ndarray, factor: int,
             pads.append((0, max(0, want - have)))
             slices.append(slice(0, want))
         out = np.pad(out, pads, mode="edge")[tuple(slices)]
+    return out
+
+
+def blockwise_stride_reconstruction(
+    field: np.ndarray,
+    block_shape: tuple[int, ...],
+    factor: int,
+    block_mask: np.ndarray | None = None,
+) -> np.ndarray:
+    """Per-block ``downsample_stride`` -> ``upsample_nearest`` round trip.
+
+    Equivalent to reconstructing every block of ``field`` independently
+    (reduce by ``factor``, replicate back to the block's shape) but done
+    as a single gather: the cell at offset ``l`` within its block reads
+    the block's cell at ``(l // factor) * factor`` along every axis, so
+    the whole reconstruction is one fancy-indexing expression producing
+    exact element copies.  With ``block_mask`` (one bool per block, shape
+    ``ceil(field.shape / block_shape)``), unmasked blocks keep their
+    original values.  Bit-identical to
+    :func:`_reference_blockwise_stride_reconstruction`.
+    """
+    _check_factor(factor)
+    field = np.asarray(field)
+    validate_block_shape(field, block_shape)
+    src_axes = [
+        (np.arange(s, dtype=np.intp) // b) * b
+        + ((np.arange(s, dtype=np.intp) % b) // factor) * factor
+        for s, b in zip(field.shape, block_shape)
+    ]
+    recon = field[np.ix_(*src_axes)]
+    if block_mask is None:
+        return recon
+    counts = block_counts(field.shape, block_shape)
+    block_mask = np.asarray(block_mask, dtype=bool)
+    if block_mask.shape != counts:
+        raise PolicyError(
+            f"block_mask shape {block_mask.shape} != block grid {counts}"
+        )
+    id_axes = [
+        np.arange(s, dtype=np.intp) // b for s, b in zip(field.shape, block_shape)
+    ]
+    cell_mask = block_mask[np.ix_(*id_axes)]
+    return np.where(cell_mask, recon, field)
+
+
+def _reference_blockwise_stride_reconstruction(
+    field: np.ndarray,
+    block_shape: tuple[int, ...],
+    factor: int,
+    block_mask: np.ndarray | None = None,
+) -> np.ndarray:
+    """Scalar oracle: reduce and re-expand one block at a time."""
+    _check_factor(factor)
+    field = np.asarray(field)
+    validate_block_shape(field, block_shape)
+    out = field.copy()
+    counts = block_counts(field.shape, block_shape)
+    for idx in np.ndindex(*counts):
+        if block_mask is not None and not block_mask[idx]:
+            continue
+        slc = block_slice(idx, field.shape, block_shape)
+        block = field[slc]
+        reduced = downsample_stride(block, factor)
+        out[slc] = upsample_nearest(reduced, factor, target_shape=block.shape)
     return out
 
 

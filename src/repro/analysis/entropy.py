@@ -13,10 +13,17 @@ down-sampled at every 4th grid point").
 
 from __future__ import annotations
 
+import time
 from collections.abc import Sequence
 
 import numpy as np
 
+from repro.analysis._blocks import (
+    block_counts,
+    block_ids,
+    blockwise_histogram,
+    validate_block_shape,
+)
 from repro.errors import PolicyError
 
 __all__ = ["block_entropies", "entropy_downsample_factors", "shannon_entropy"]
@@ -49,6 +56,7 @@ def block_entropies(
     block_shape: tuple[int, ...],
     bins: int = 256,
     global_range: bool = True,
+    metrics=None,
 ) -> np.ndarray:
     """Entropy of each non-overlapping block of ``field``.
 
@@ -57,6 +65,92 @@ def block_entropies(
     included.  With ``global_range`` the histogram range is shared across
     blocks so entropies are comparable (the paper compares block
     entropies against common thresholds).
+
+    Single-pass vectorized implementation: the whole field is routed to
+    per-block histogram bins at once (``bincount`` over
+    ``block_id * bins + bin``); only the O(blocks * bins) entropy
+    reduction runs per block.  Bit-identical to
+    :func:`_reference_block_entropies`, the per-block scalar oracle.
+    When a :class:`~repro.observability.MetricsRegistry` is injected via
+    ``metrics``, the kernel time is published as the
+    ``analysis.entropy_kernel_seconds`` EMA timer.
+    """
+    field = np.asarray(field)
+    validate_block_shape(field, block_shape)
+    if bins < 2:
+        raise PolicyError(f"bins must be >= 2, got {bins}")
+    start = time.perf_counter() if metrics is not None else 0.0
+    out = _block_entropies_vectorized(field, block_shape, bins, global_range)
+    if metrics is not None:
+        timer = metrics.timer("analysis.entropy_kernel_seconds")
+        timer.observe(time.perf_counter() - start)
+    return out
+
+
+def _block_entropies_vectorized(
+    field: np.ndarray,
+    block_shape: tuple[int, ...],
+    bins: int,
+    global_range: bool,
+) -> np.ndarray:
+    counts_shape = block_counts(field.shape, block_shape)
+    nblocks = int(np.prod(counts_shape)) if counts_shape else 1
+    out = np.zeros(counts_shape, dtype=np.float64)
+    if field.size == 0 or nblocks == 0:
+        return out
+    flat = np.asarray(field, dtype=np.float64).ravel()
+    bids = block_ids(field.shape, block_shape).ravel()
+    finite = np.isfinite(flat)
+    values = flat[finite]
+    vbids = bids[finite]
+
+    if global_range:
+        if values.size == 0:
+            return out
+        lo, hi = float(values.min()), float(values.max())
+        if lo == hi:
+            hi = lo + 1.0
+        lo_b = np.full(nblocks, lo)
+        hi_b = np.full(nblocks, hi)
+    else:
+        # Per-block auto ranges, as np.histogram derives them: the finite
+        # min/max, with a constant block widened to (v - 0.5, v + 0.5).
+        lo_b = np.full(nblocks, np.inf)
+        hi_b = np.full(nblocks, -np.inf)
+        np.minimum.at(lo_b, vbids, values)
+        np.maximum.at(hi_b, vbids, values)
+        empty = ~np.isfinite(lo_b)
+        constant = (lo_b == hi_b) & ~empty
+        lo_b[constant] -= 0.5
+        hi_b[constant] += 0.5
+        lo_b[empty] = 0.0
+        hi_b[empty] = 1.0  # placeholder; empty blocks contribute no samples
+
+    hist = blockwise_histogram(values, vbids, nblocks, bins, lo_b, hi_b)
+    totals = hist.sum(axis=1)
+    flat_out = out.reshape(-1)
+    # Per-block entropy from the count matrix: O(blocks * bins) work and
+    # the same compaction + summation as the scalar oracle, so the result
+    # matches bit for bit.
+    for k in np.nonzero(totals)[0]:
+        c = hist[k]
+        c = c[c > 0]
+        p = c / totals[k]
+        flat_out[k] = max(0.0, float(-(p * np.log2(p)).sum()))
+    return out
+
+
+def _reference_block_entropies(
+    field: np.ndarray,
+    block_shape: tuple[int, ...],
+    bins: int = 256,
+    global_range: bool = True,
+) -> np.ndarray:
+    """Scalar oracle: one :func:`shannon_entropy` call per block.
+
+    The pre-vectorization implementation, kept as the equivalence oracle
+    for :func:`block_entropies` (the property tests assert exact
+    agreement).
     """
     if len(block_shape) != field.ndim:
         raise PolicyError(

@@ -1,0 +1,327 @@
+"""Memoized simulation sessions for the experiment hot path.
+
+Several experiments re-run the same deterministic solver configurations:
+the Figure 1/5 memory studies and the captured-trace sweep all capture
+the same Polytropic Gas run (at 50, 40 and 30 steps), and the Figure 6
+entropy study shares its density field with two ablation sweeps.  The
+:class:`ExperimentCache` removes that redundancy without changing a
+single output bit:
+
+- **Prefix reuse.**  A captured trace of ``k`` steps is, by determinism,
+  exactly the first ``k`` records of a longer capture from the same
+  configuration, so shorter requests are served by slicing.
+- **Stepper extension.**  :class:`~repro.amr.stepper.AMRStepper.run`
+  continues the step counter, so a session keeps the live stepper and
+  advances it *forward* for longer requests instead of re-running from
+  step zero.  A session whose stepper has already passed the requested
+  step recomputes from scratch (state cannot be rewound).
+- **Content-addressed disk artifacts.**  With ``REPRO_CACHE_DIR`` set,
+  finished artifacts are pickled under a key hashing the experiment
+  kind, its parameters, :data:`CACHE_VERSION` and the current git
+  revision, so stale artifacts from other code states can never be
+  served.
+
+Set ``REPRO_NO_CACHE=1`` to bypass the cache entirely; every request
+then computes exactly as the un-cached experiments always did.  When a
+:class:`~repro.observability.MetricsRegistry` is attached, lookups
+publish the ``experiments.cache_hits`` / ``experiments.cache_misses``
+counters.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import subprocess
+import tempfile
+from pathlib import Path
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.workload.capture import capture_trace
+from repro.workload.trace import WorkloadTrace
+
+__all__ = [
+    "CACHE_VERSION",
+    "ExperimentCache",
+    "cache_enabled",
+    "default_cache",
+    "reset_default_cache",
+]
+
+#: Bump when a cached artifact's meaning changes (invalidates disk keys).
+CACHE_VERSION = 1
+
+_CODE_SALT: str | None = None
+
+
+def _code_salt() -> str:
+    """The current git revision, or ``"nogit"`` outside a repository.
+
+    Folded into every cache key so on-disk artifacts written by one code
+    state are never served to another.
+    """
+    global _CODE_SALT
+    if _CODE_SALT is None:
+        try:
+            proc = subprocess.run(
+                ["git", "rev-parse", "HEAD"],
+                cwd=Path(__file__).resolve().parent,
+                capture_output=True,
+                text=True,
+                timeout=10,
+            )
+            rev = proc.stdout.strip()
+            _CODE_SALT = rev if proc.returncode == 0 and rev else "nogit"
+        except (OSError, subprocess.SubprocessError):
+            _CODE_SALT = "nogit"
+    return _CODE_SALT
+
+
+def cache_enabled() -> bool:
+    """False when ``REPRO_NO_CACHE`` asks for plain recomputation."""
+    return os.environ.get("REPRO_NO_CACHE", "") in ("", "0")
+
+
+class _TraceSession:
+    """One solver configuration's captured records, grown incrementally."""
+
+    def __init__(self, build: Callable[[], Any], name: str):
+        self.build = build
+        self.name = name
+        self.stepper = None
+        self.records: list = []
+        self.meta: tuple[int, int, float] | None = None  # ndim, nranks, b/cell
+
+    def adopt(self, trace: WorkloadTrace) -> None:
+        """Seed from a disk artifact (records only; no live stepper)."""
+        self.records = list(trace.steps)
+        self.meta = (trace.ndim, trace.nranks, trace.bytes_per_cell)
+
+    def prefix(self, nsteps: int) -> WorkloadTrace:
+        ndim, nranks, bpc = self.meta
+        return WorkloadTrace(
+            name=self.name,
+            ndim=ndim,
+            nranks=nranks,
+            bytes_per_cell=bpc,
+            steps=list(self.records[:nsteps]),
+        )
+
+    def extend_to(self, nsteps: int) -> WorkloadTrace:
+        if self.stepper is None:
+            # Either a fresh session or one adopted from disk; a disk
+            # prefix cannot be extended without solver state, so restart.
+            self.stepper = self.build()
+            self.records = []
+        captured = capture_trace(
+            self.stepper, nsteps - len(self.records), name=self.name
+        )
+        self.records.extend(captured.steps)
+        self.meta = (captured.ndim, captured.nranks, captured.bytes_per_cell)
+        return self.prefix(nsteps)
+
+
+class _FieldSession:
+    """One solver configuration's live stepper plus extracted fields."""
+
+    def __init__(self, build: Callable[[], Any], extract: Callable[[Any], np.ndarray]):
+        self.build = build
+        self.extract = extract
+        self.stepper = None
+        self.steps_done = 0
+        self.fields: dict[int, np.ndarray] = {}
+
+    def advance_to(self, nsteps: int) -> np.ndarray:
+        if self.stepper is None or self.steps_done > nsteps:
+            self.stepper = self.build()
+            self.steps_done = 0
+        if nsteps > self.steps_done:
+            self.stepper.run(nsteps - self.steps_done)
+            self.steps_done = nsteps
+        return self.extract(self.stepper)
+
+
+class ExperimentCache:
+    """Parameter-keyed memo for deterministic experiment inputs.
+
+    In-process sessions hold live steppers (for prefix/extension reuse);
+    the optional on-disk layer under ``REPRO_CACHE_DIR`` persists
+    finished artifacts across processes.  All public entry points honour
+    ``REPRO_NO_CACHE=1`` by delegating straight to the compute path.
+    """
+
+    def __init__(self, cache_dir: str | Path | None = None, metrics=None):
+        self.cache_dir = cache_dir
+        self.metrics = metrics
+        self._values: dict[str, Any] = {}
+        self._sessions: dict[str, Any] = {}
+
+    # -- plumbing ----------------------------------------------------------
+
+    def attach_metrics(self, registry) -> None:
+        """Publish hit/miss counters to ``registry`` from now on."""
+        self.metrics = registry
+
+    def _count(self, hit: bool) -> None:
+        if self.metrics is not None:
+            name = "experiments.cache_hits" if hit else "experiments.cache_misses"
+            self.metrics.counter(name).inc()
+
+    def key(self, kind: str, **params) -> str:
+        """Content hash of (kind, params, cache version, code revision)."""
+        payload = json.dumps(
+            {
+                "kind": kind,
+                "params": params,
+                "version": CACHE_VERSION,
+                "salt": _code_salt(),
+            },
+            sort_keys=True,
+            default=str,
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    def _dir(self) -> Path | None:
+        if self.cache_dir is not None:
+            return Path(self.cache_dir)
+        env = os.environ.get("REPRO_CACHE_DIR", "")
+        return Path(env) if env else None
+
+    def _disk_load(self, key: str) -> Any | None:
+        root = self._dir()
+        if root is None:
+            return None
+        path = root / f"{key}.pkl"
+        try:
+            with open(path, "rb") as fh:
+                return pickle.load(fh)
+        except (OSError, pickle.PickleError, EOFError):
+            return None
+
+    def _disk_store(self, key: str, value: Any) -> None:
+        root = self._dir()
+        if root is None:
+            return
+        try:
+            root.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=root, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp, root / f"{key}.pkl")
+            except BaseException:
+                os.unlink(tmp)
+                raise
+        except OSError:
+            pass  # a read-only or full cache dir degrades to a no-op
+
+    # -- entry points ------------------------------------------------------
+
+    def value(self, kind: str, params: dict, compute: Callable[[], Any]) -> Any:
+        """Generic memo for a deterministic, parameter-keyed computation."""
+        if not cache_enabled():
+            return compute()
+        key = self.key(kind, **params)
+        if key in self._values:
+            self._count(hit=True)
+            return self._values[key]
+        stored = self._disk_load(key)
+        if stored is not None:
+            self._count(hit=True)
+            self._values[key] = stored
+            return stored
+        self._count(hit=False)
+        result = compute()
+        self._values[key] = result
+        self._disk_store(key, result)
+        return result
+
+    def trace(
+        self,
+        kind: str,
+        params: dict,
+        nsteps: int,
+        build: Callable[[], Any],
+        name: str,
+    ) -> WorkloadTrace:
+        """A captured trace, served from prefixes / stepper extension.
+
+        ``build`` constructs the (deterministic) stepper; ``nsteps`` of
+        capture are returned.  One session per (kind, params) holds the
+        longest capture so far; shorter requests slice it, longer ones
+        advance the live stepper forward.
+        """
+        if not cache_enabled():
+            return capture_trace(build(), nsteps, name=name)
+        skey = self.key(kind, **params)
+        session = self._sessions.get(skey)
+        if session is None:
+            session = _TraceSession(build, name)
+            stored = self._disk_load(skey)
+            if stored is not None:
+                session.adopt(stored)
+            self._sessions[skey] = session
+        if len(session.records) >= nsteps:
+            self._count(hit=True)
+            return session.prefix(nsteps)
+        self._count(hit=False)
+        trace = session.extend_to(nsteps)
+        self._disk_store(skey, session.prefix(len(session.records)))
+        return trace
+
+    def field(
+        self,
+        kind: str,
+        params: dict,
+        nsteps: int,
+        build: Callable[[], Any],
+        extract: Callable[[Any], np.ndarray],
+    ) -> np.ndarray:
+        """A dense field extracted after ``nsteps``, with stepper reuse.
+
+        Returns a private copy, so callers may mutate the result freely.
+        """
+        if not cache_enabled():
+            stepper = build()
+            stepper.run(nsteps)
+            return extract(stepper)
+        skey = self.key(kind, **params)
+        session = self._sessions.get(skey)
+        if session is None:
+            session = _FieldSession(build, extract)
+            self._sessions[skey] = session
+        if nsteps in session.fields:
+            self._count(hit=True)
+            return session.fields[nsteps].copy()
+        fkey = self.key(kind, **params, nsteps=nsteps)
+        stored = self._disk_load(fkey)
+        if stored is not None:
+            self._count(hit=True)
+            session.fields[nsteps] = stored
+            return stored.copy()
+        self._count(hit=False)
+        field = session.advance_to(nsteps)
+        session.fields[nsteps] = field
+        self._disk_store(fkey, field)
+        return field.copy()
+
+
+_DEFAULT: ExperimentCache | None = None
+
+
+def default_cache() -> ExperimentCache:
+    """The process-wide cache the experiments share."""
+    global _DEFAULT
+    if _DEFAULT is None:
+        _DEFAULT = ExperimentCache()
+    return _DEFAULT
+
+
+def reset_default_cache() -> None:
+    """Drop the shared cache (tests use this to isolate sessions)."""
+    global _DEFAULT
+    _DEFAULT = None

@@ -103,26 +103,34 @@ class _Paper:
 PAPER = _Paper()
 
 
-@lru_cache(maxsize=32)
-def advection_trace(scale: ScaleConfig) -> WorkloadTrace:
+def advection_trace(scale: ScaleConfig, cache=None) -> WorkloadTrace:
     """The synthetic Advection-Diffusion workload for one scale.
 
     Rank count equals the simulation core count; per-rank state is sized
     so the workload fits the machine (Titan: 2 GiB/core) with AMR
-    imbalance on top.
+    imbalance on top.  Memoized through the shared experiment cache
+    (:mod:`repro.experiments.cache`), keyed by the scale's fields.
     """
-    config = SyntheticAMRConfig(
-        steps=scale.steps,
-        nranks=scale.sim_cores,
-        base_cells=scale.base_cells,
-        sim_cost_per_cell=SIM_COST_PER_CELL,
-        state_bytes_per_cell=16.0,  # scalar tracer + scratch
-        output_bytes_per_cell=8.0,
-        growth=1.8,
-        analysis_growth_exponent=0.1,
-        seed=scale.seed,
-    )
-    return synthetic_amr_trace(config, name=f"advection-{scale.label}")
+    from dataclasses import asdict
+
+    from repro.experiments.cache import default_cache
+
+    def _compute() -> WorkloadTrace:
+        config = SyntheticAMRConfig(
+            steps=scale.steps,
+            nranks=scale.sim_cores,
+            base_cells=scale.base_cells,
+            sim_cost_per_cell=SIM_COST_PER_CELL,
+            state_bytes_per_cell=16.0,  # scalar tracer + scratch
+            output_bytes_per_cell=8.0,
+            growth=1.8,
+            analysis_growth_exponent=0.1,
+            seed=scale.seed,
+        )
+        return synthetic_amr_trace(config, name=f"advection-{scale.label}")
+
+    cache = default_cache() if cache is None else cache
+    return cache.value("advection_trace", asdict(scale), _compute)
 
 
 def default_hints() -> UserHints:

@@ -10,7 +10,6 @@ to 4K virtual ranks, and report the same distribution statistics.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from functools import lru_cache
 
 import numpy as np
 
@@ -18,9 +17,9 @@ from repro.amr.box import Box
 from repro.amr.godunov import PolytropicGasSolver
 from repro.amr.hierarchy import AMRHierarchy
 from repro.amr.stepper import AMRStepper
+from repro.experiments.cache import default_cache
 from repro.experiments.common import render_table
 from repro.units import MiB, format_bytes
-from repro.workload.capture import capture_trace
 from repro.workload.scale import scale_trace
 from repro.workload.trace import WorkloadTrace
 
@@ -29,14 +28,7 @@ __all__ = ["Fig1Result", "captured_gas_trace", "render", "run_fig1"]
 TARGET_RANKS = 4096
 
 
-@lru_cache(maxsize=4)
-def captured_gas_trace(nsteps: int = 50, n: int = 32, nranks: int = 16) -> WorkloadTrace:
-    """Run the real 3-D Polytropic Gas solver and capture its trace.
-
-    Domain proportions follow the paper's 128x64x64 base grid (2:1:1).
-    Small boxes and few capture ranks keep several boxes per rank, so the
-    per-rank peak tracks refinement growth the way the paper's does.
-    """
+def _gas_stepper(n: int, nranks: int) -> AMRStepper:
     domain = Box((0, 0, 0), (n - 1, n // 2 - 1, n // 2 - 1))
     hierarchy = AMRHierarchy(
         domain,
@@ -49,8 +41,31 @@ def captured_gas_trace(nsteps: int = 50, n: int = 32, nranks: int = 16) -> Workl
         periodic=True,
     )
     solver = PolytropicGasSolver(tag_threshold=0.06, blast_pressure_jump=20.0)
-    stepper = AMRStepper(hierarchy, solver, regrid_interval=4)
-    return capture_trace(stepper, nsteps, name="polytropic-gas-3d")
+    return AMRStepper(hierarchy, solver, regrid_interval=4)
+
+
+def captured_gas_trace(
+    nsteps: int = 50, n: int = 32, nranks: int = 16, cache=None
+) -> WorkloadTrace:
+    """Run the real 3-D Polytropic Gas solver and capture its trace.
+
+    Domain proportions follow the paper's 128x64x64 base grid (2:1:1).
+    Small boxes and few capture ranks keep several boxes per rank, so the
+    per-rank peak tracks refinement growth the way the paper's does.
+
+    Requests for the same configuration share one memoized solver
+    session (:mod:`repro.experiments.cache`): shorter traces are served
+    as prefixes of the longest capture so far, longer ones extend the
+    live stepper -- both bit-identical to a fresh run of that length.
+    """
+    cache = default_cache() if cache is None else cache
+    return cache.trace(
+        "captured_gas_trace",
+        {"n": n, "nranks": nranks},
+        nsteps,
+        build=lambda: _gas_stepper(n, nranks),
+        name="polytropic-gas-3d",
+    )
 
 
 @dataclass(frozen=True)

@@ -45,11 +45,15 @@ from repro.observability.calibration import (
 )
 from repro.observability.events import EVENT_KINDS, TraceEvent
 from repro.observability.export import (
+    BENCH_SCHEMA,
     SNAPSHOT_SCHEMA,
+    diff_bench,
     diff_snapshots,
     export_snapshot,
+    load_bench,
     load_snapshot,
     prometheus_text,
+    render_bench_diff,
     render_diff,
 )
 from repro.observability.ledger import (
@@ -69,6 +73,7 @@ from repro.observability.timeline import decision_timeline, occupancy_gantt
 from repro.observability.tracer import Tracer, read_jsonl
 
 __all__ = [
+    "BENCH_SCHEMA",
     "Counter",
     "EmaTimer",
     "EstimatorCalibration",
@@ -87,12 +92,15 @@ __all__ = [
     "calibrate",
     "calibration_report",
     "decision_timeline",
+    "diff_bench",
     "diff_snapshots",
     "export_snapshot",
+    "load_bench",
     "load_snapshot",
     "occupancy_gantt",
     "placement_regret",
     "prometheus_text",
     "read_jsonl",
+    "render_bench_diff",
     "render_diff",
 ]

@@ -34,16 +34,24 @@ from repro.observability.metrics import (
 )
 
 __all__ = [
+    "BENCH_SCHEMA",
     "SNAPSHOT_SCHEMA",
+    "diff_bench",
     "diff_snapshots",
     "export_snapshot",
+    "load_bench",
     "load_snapshot",
     "prometheus_text",
+    "render_bench_diff",
     "render_diff",
 ]
 
 #: Version tag of the JSON snapshot layout; bumped on breaking changes.
 SNAPSHOT_SCHEMA = "repro.observability.snapshot/1"
+
+#: Version tag of the benchmark wall-time snapshots ``benchmarks/conftest.py``
+#: writes (``benchmarks/BENCH_<rev>.json``).
+BENCH_SCHEMA = "repro.bench/1"
 
 
 def _prom_name(name: str) -> str:
@@ -270,6 +278,120 @@ def diff_snapshots(
         "flips_delta": reg_b.get("flips", 0) - reg_a.get("flips", 0),
         "placement_changes": changes,
     }
+
+
+# -- benchmark snapshots -------------------------------------------------------
+
+
+def load_bench(source: str | Path | Mapping[str, Any]) -> dict[str, Any]:
+    """Load and validate a benchmark snapshot (dict, JSON text, or path)."""
+    if isinstance(source, Mapping):
+        payload: Any = dict(source)
+    else:
+        if isinstance(source, Path) or (
+            isinstance(source, str)
+            and "\n" not in source
+            and source.endswith(".json")
+        ):
+            text = Path(source).read_text()
+        else:
+            text = str(source)
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ObservabilityError(f"not a bench snapshot: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("schema") != BENCH_SCHEMA:
+        raise ObservabilityError(
+            f"not a {BENCH_SCHEMA} snapshot: schema="
+            f"{payload.get('schema')!r}"
+            if isinstance(payload, dict)
+            else "not a bench snapshot: top level is not an object"
+        )
+    figures = payload.get("figures")
+    if not isinstance(figures, dict):
+        raise ObservabilityError("bench snapshot has no 'figures' mapping")
+    return payload
+
+
+def diff_bench(
+    a: str | Path | Mapping[str, Any], b: str | Path | Mapping[str, Any]
+) -> dict[str, Any]:
+    """Per-benchmark wall-time drift between two ``repro.bench/1`` snapshots.
+
+    Positive ``delta`` values mean ``b`` is slower than ``a``; ``speedup``
+    is ``a / b`` (>1 means ``b`` improved).  Totals cover only benchmarks
+    present in both snapshots.
+    """
+    snap_a, snap_b = load_bench(a), load_bench(b)
+    figs_a, figs_b = snap_a["figures"], snap_b["figures"]
+    figures: dict[str, Any] = {}
+    for name in sorted(set(figs_a) | set(figs_b)):
+        sec_a, sec_b = figs_a.get(name), figs_b.get(name)
+        figures[name] = {
+            "seconds_a": sec_a,
+            "seconds_b": sec_b,
+            "delta": None if sec_a is None or sec_b is None else sec_b - sec_a,
+            "speedup": (
+                None if sec_a is None or sec_b is None or sec_b <= 0
+                else sec_a / sec_b
+            ),
+        }
+    shared = [n for n in figures if n in figs_a and n in figs_b]
+    total_a = float(sum(figs_a[n] for n in shared))
+    total_b = float(sum(figs_b[n] for n in shared))
+    return {
+        "labels": (snap_a.get("git_rev", "a"), snap_b.get("git_rev", "b")),
+        "figures": figures,
+        "total_a": total_a,
+        "total_b": total_b,
+        "total_delta": total_b - total_a,
+        "total_speedup": total_a / total_b if total_b > 0 else None,
+    }
+
+
+def render_bench_diff(diff: Mapping[str, Any]) -> str:
+    """Human-readable rendering of :func:`diff_bench` (slowest first)."""
+    label_a, label_b = diff.get("labels", ("a", "b"))
+    lines = [f"bench drift: {label_a or 'a'} -> {label_b or 'b'}", ""]
+
+    def fmt(value: Any, pattern: str) -> str:
+        return "-" if value is None else pattern.format(value)
+
+    headers = ["benchmark", "a (s)", "b (s)", "delta (s)", "speedup"]
+    entries = sorted(
+        diff["figures"].items(),
+        key=lambda item: -(item[1]["seconds_a"] or 0.0),
+    )
+    rows = [
+        [
+            name,
+            fmt(f["seconds_a"], "{:.3f}"),
+            fmt(f["seconds_b"], "{:.3f}"),
+            fmt(f["delta"], "{:+.3f}"),
+            fmt(f["speedup"], "{:.2f}x"),
+        ]
+        for name, f in entries
+    ]
+    widths = [
+        max(len(h), max((len(r[i]) for r in rows), default=0))
+        for i, h in enumerate(headers)
+    ]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    lines.append("")
+    lines.append(
+        f"total (shared benchmarks): {diff['total_a']:.3f}s -> "
+        f"{diff['total_b']:.3f}s ({diff['total_delta']:+.3f}s, "
+        + (
+            f"{diff['total_speedup']:.2f}x"
+            if diff["total_speedup"] is not None
+            else "-"
+        )
+        + ")"
+    )
+    return "\n".join(lines)
 
 
 def render_diff(diff: Mapping[str, Any]) -> str:

@@ -40,6 +40,12 @@ METRIC_NAMES: dict[str, str] = {
     "staging.service_seconds": "EMA timer: recent staging job service times",
     "staging.memory_used": "gauge: staging memory currently held by jobs",
     "staging.active_cores": "gauge: staging cores currently enabled",
+    "analysis.entropy_kernel_seconds": "EMA timer: recent block-entropy "
+    "kernel durations",
+    "experiments.cache_hits": "counter: experiment cache lookups served "
+    "from memory or disk",
+    "experiments.cache_misses": "counter: experiment cache lookups that "
+    "had to compute",
 }
 
 

@@ -22,6 +22,7 @@ from repro.observability import (
 
 REPO = Path(__file__).resolve().parent.parent
 OBSERVABILITY_DOC = REPO / "docs" / "observability.md"
+PERFORMANCE_DOC = REPO / "docs" / "performance.md"
 
 
 @pytest.fixture(scope="module")
@@ -74,6 +75,34 @@ class TestCliDocs:
     def test_every_experiment_listed_in_docs(self, all_docs):
         missing = [name for name in EXPERIMENTS if name not in all_docs]
         assert not missing, f"undocumented experiments: {missing}"
+
+
+class TestPerformanceDocs:
+    @pytest.fixture(scope="class")
+    def performance_doc(self) -> str:
+        assert PERFORMANCE_DOC.exists(), "docs/performance.md is missing"
+        return PERFORMANCE_DOC.read_text()
+
+    def test_cache_env_vars_documented(self, performance_doc):
+        for var in ("REPRO_CACHE_DIR", "REPRO_NO_CACHE"):
+            assert var in performance_doc, f"{var} missing from docs/performance.md"
+
+    def test_cache_public_api_documented(self, performance_doc):
+        import repro.experiments.cache as cache
+
+        api_doc = (REPO / "docs" / "api.md").read_text()
+        missing = [name for name in cache.__all__
+                   if name not in api_doc and name not in performance_doc]
+        assert not missing, f"cache symbols missing from docs: {missing}"
+
+    def test_bench_diff_usage_shown(self, performance_doc):
+        assert "repro bench-diff" in performance_doc
+        assert "BENCH_" in performance_doc
+
+    def test_linked_from_architecture(self):
+        text = (REPO / "docs" / "architecture.md").read_text()
+        assert "performance.md" in text
+        assert "repro.experiments.cache" in text
 
 
 class TestApiDocs:
