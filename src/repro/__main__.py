@@ -11,6 +11,8 @@ Usage::
     python -m repro audit --steps 20 --export run.json
     python -m repro audit --diff a.json b.json
     python -m repro bench-diff benchmarks/BENCH_old.json benchmarks/BENCH_new.json
+    python -m repro faults --list
+    python -m repro faults blackout --steps 20
 
 ``trace`` is the observability workflow: it replays the quickstart
 workload with a :class:`~repro.observability.Tracer` and
@@ -30,6 +32,14 @@ regret delta, decision flips) without running anything.
 (``benchmarks/BENCH_<rev>.json``, written at the end of a ``pytest
 benchmarks`` session) and prints the per-benchmark drift, slowest
 first, plus the aggregate speedup.
+
+``faults`` runs a named fault scenario (:data:`repro.faults.SCENARIOS`)
+against the quickstart workload: it first replays the workload
+fault-free to measure the baseline end-to-end time (which also scales
+the scenario's fault timings), then replays it with the seeded
+:class:`~repro.faults.FaultPlan` injected, and prints the
+time-to-solution and data-movement deltas plus the fault/recovery
+timeline.  See ``docs/faults.md``.
 """
 
 from __future__ import annotations
@@ -42,7 +52,7 @@ from pathlib import Path
 __all__ = ["SUBCOMMANDS", "main"]
 
 #: Non-experiment subcommands (the docs-consistency test keys off this).
-SUBCOMMANDS = ("list", "all", "trace", "audit", "bench-diff")
+SUBCOMMANDS = ("list", "all", "trace", "audit", "bench-diff", "faults")
 
 
 def _fig1() -> str:
@@ -301,6 +311,92 @@ def _bench_diff_command(argv: list[str]) -> int:
     return 0
 
 
+def _faults_command(argv: list[str]) -> int:
+    """The ``repro faults`` subcommand: fault-scenario replay + deltas."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro faults",
+        description="Run a named fault scenario against the quickstart "
+        "workload and report the time-to-solution delta against the "
+        "fault-free baseline, plus the fault/recovery timeline.",
+    )
+    parser.add_argument("scenario", nargs="?", default=None,
+                        help="scenario name (see --list)")
+    parser.add_argument("--list", action="store_true", dest="list_scenarios",
+                        help="list the available scenarios and exit")
+    parser.add_argument("--mode", default="global",
+                        choices=[m.value for m in _trace_modes()],
+                        help="execution mode (default: global)")
+    parser.add_argument("--steps", type=int, default=20,
+                        help="workload length in steps (default: 20)")
+    parser.add_argument("--seed", type=int, default=42,
+                        help="synthetic workload seed (default: 42)")
+    parser.add_argument("--fault-seed", type=int, default=0,
+                        help="fault scenario seed (default: 0)")
+    parser.add_argument("--jsonl", metavar="PATH", default=None,
+                        help="also write the faulted run's event stream "
+                        "as JSON Lines")
+    args = parser.parse_args(argv)
+
+    from repro.faults import SCENARIOS, build_scenario
+
+    if args.list_scenarios:
+        width = max(len(name) for name in SCENARIOS)
+        for name, (description, _builder) in sorted(SCENARIOS.items()):
+            print(f"{name.ljust(width)}  {description}")
+        return 0
+    if args.scenario is None:
+        parser.error("a scenario name is required (or use --list)")
+
+    from repro.observability import MetricsRegistry, Tracer, fault_timeline
+    from repro.workflow import run_workflow
+
+    # Fault-free baseline: measures the deltas AND provides the horizon
+    # the scenario's relative fault timings are scaled by.
+    config, trace = _quickstart(args.mode, args.steps, args.seed)
+    baseline = run_workflow(config, trace)
+    plan = build_scenario(
+        args.scenario,
+        horizon=baseline.end_to_end_seconds,
+        seed=args.fault_seed,
+        staging_cores=config.staging_cores,
+        steps=len(trace),
+    )
+
+    config, trace = _quickstart(args.mode, args.steps, args.seed)
+    tracer = Tracer()
+    metrics = MetricsRegistry()
+    result = run_workflow(config, trace, tracer=tracer, metrics=metrics,
+                          faults=plan)
+
+    delta_t = result.end_to_end_seconds - baseline.end_to_end_seconds
+    delta_pct = (
+        100.0 * delta_t / baseline.end_to_end_seconds
+        if baseline.end_to_end_seconds > 0 else 0.0
+    )
+    delta_bytes = result.data_moved_bytes - baseline.data_moved_bytes
+    print(f"scenario={args.scenario}  mode={config.mode.value}  "
+          f"steps={len(trace)}  fault-seed={args.fault_seed}")
+    print("\n## Fault plan " + "#" * 57)
+    print(plan.describe())
+    print("\n## Time to solution " + "#" * 51)
+    print(f"fault-free : {baseline.end_to_end_seconds:12.2f} s")
+    print(f"faulted    : {result.end_to_end_seconds:12.2f} s")
+    print(f"delta      : {delta_t:+12.2f} s ({delta_pct:+.1f}%)")
+    print("\n## Data movement " + "#" * 54)
+    print(f"fault-free : {baseline.data_moved_bytes:15.0f} B")
+    print(f"faulted    : {result.data_moved_bytes:15.0f} B")
+    print(f"delta      : {delta_bytes:+15.0f} B")
+    print("\n## Fault/recovery timeline " + "#" * 44)
+    print(fault_timeline(tracer))
+    print("\n## Metrics " + "#" * 60)
+    print(metrics.render())
+    if args.jsonl is not None:
+        Path(args.jsonl).parent.mkdir(parents=True, exist_ok=True)
+        tracer.to_jsonl(args.jsonl)
+        print(f"\nwrote {len(tracer)} events to {args.jsonl}")
+    return 0
+
+
 def _trace_modes():
     from repro.workflow import Mode
 
@@ -315,6 +411,8 @@ def main(argv: list[str] | None = None) -> int:
         return _audit_command(argv[1:])
     if argv and argv[0] == "bench-diff":
         return _bench_diff_command(argv[1:])
+    if argv and argv[0] == "faults":
+        return _faults_command(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -323,7 +421,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "experiment",
         help="experiment id (see 'list'), 'all', 'list', 'trace', "
-        "'audit', or 'bench-diff'",
+        "'audit', 'bench-diff', or 'faults'",
     )
     args = parser.parse_args(argv)
 
@@ -337,6 +435,9 @@ def main(argv: list[str] | None = None) -> int:
               "calibration report + placement regret (see 'audit --help')")
         print(f"{'bench-diff'.ljust(width)}  compare two benchmark "
               "wall-time snapshots (see 'bench-diff --help')")
+        print(f"{'faults'.ljust(width)}  fault-scenario replay: "
+              "time-to-solution delta + recovery timeline "
+              "(see 'faults --help')")
         return 0
 
     if args.experiment == "all":

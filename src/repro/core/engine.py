@@ -126,6 +126,7 @@ class AdaptationEngine:
         """
         decision = AdaptationDecision(step=state.step)
         working = state
+        degraded = not state.staging_reachable
         for layer in self.plan:
             if layer is Layer.APPLICATION:
                 action = self.application.decide(working)
@@ -133,6 +134,10 @@ class AdaptationEngine:
                 decision.actions.append(action)
                 working = working.with_reduction(action.factor)
             elif layer is Layer.RESOURCE:
+                if degraded:
+                    # Every staging core is dead; there is nothing to size
+                    # until the substrate comes back.
+                    continue
                 action = self.resource.decide(working)
                 decision.staging_cores = action.cores
                 decision.actions.append(action)
@@ -143,7 +148,17 @@ class AdaptationEngine:
                     / (working.core_rate * action.cores),
                 )
             elif layer is Layer.MIDDLEWARE:
-                action = self.middleware.decide(working)
+                if degraded:
+                    # Graceful degradation: with staging unreachable the
+                    # only feasible placement is in-situ.
+                    action = PlaceAnalysis(
+                        step=working.step,
+                        placement=Placement.IN_SITU,
+                        insitu_fraction=1.0,
+                        reason="staging unreachable; degrading to in-situ",
+                    )
+                else:
+                    action = self.middleware.decide(working)
                 decision.placement = action.placement
                 decision.insitu_fraction = action.insitu_fraction
                 decision.actions.append(action)
@@ -170,11 +185,15 @@ class AdaptationEngine:
         if self.metrics is not None:
             self.metrics.counter("engine.decisions").inc()
         if self.tracer is not None and self.tracer.enabled:
+            # `degraded` is only present on degraded decisions so that
+            # fault-free traces stay byte-identical to pre-fault builds.
+            extra = {"degraded": True} if degraded else {}
             self.tracer.emit(
                 ADAPT_DECISION,
                 step=state.step,
                 mode=self.mode,
                 plan=[layer.value for layer in self.plan],
+                **extra,
                 factor=decision.factor,
                 placement=(
                     decision.placement.value if decision.placement else None

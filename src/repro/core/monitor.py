@@ -154,6 +154,7 @@ class Monitor:
         insitu_memory_ok: bool,
         core_rate: float,
         steps_remaining: int | None = None,
+        staging_reachable: bool = True,
     ) -> OperationalState:
         """Build (and record) the operational state for ``step``."""
         intransit_memory_ok = (
@@ -188,6 +189,7 @@ class Monitor:
                 if steps_remaining is None
                 else steps_remaining * self.expected_sim_step_time
             ),
+            staging_reachable=staging_reachable,
         )
         self.history.append(state)
         if self.ledger is not None and state.est_next_sim_time > 0:

@@ -38,7 +38,9 @@ class OperationalState:
       constraint inputs;
     - ``insitu_memory_ok``/``intransit_memory_ok`` -- Eq. 8's resource
       feasibility bits;
-    - ``staging_busy`` -- whether in-transit cores are occupied (Fig. 4).
+    - ``staging_busy`` -- whether in-transit cores are occupied (Fig. 4);
+    - ``staging_reachable`` -- False during a total staging blackout
+      (every core failed); the engine then degrades to in-situ placement.
     """
 
     step: int
@@ -72,6 +74,8 @@ class OperationalState:
     # in-transit work beyond this horizon cannot be hidden and extends the
     # end-to-end time directly.
     est_remaining_sim_time: float = float("inf")
+    # False only while fault injection has killed every staging core.
+    staging_reachable: bool = True
 
     def __post_init__(self) -> None:
         if self.ndim not in (1, 2, 3):

@@ -44,3 +44,7 @@ class TraceError(ReproError):
 
 class ObservabilityError(ReproError):
     """Raised by the tracing and metrics subsystem."""
+
+
+class FaultError(ReproError):
+    """Raised for invalid fault plans or mis-wired fault injection."""

@@ -172,11 +172,25 @@ class ExperimentCache:
             self.metrics.counter(name).inc()
 
     def key(self, kind: str, **params) -> str:
-        """Content hash of (kind, params, cache version, code revision)."""
+        """Content hash of (kind, params, cache version, code revision).
+
+        Parameters exposing a ``cache_token()`` method (e.g.
+        :class:`repro.faults.FaultPlan`) are keyed by that token, so
+        artifacts computed under one fault plan are never served to a
+        run with a different plan -- or to a fault-free run.
+        """
+        canonical = {
+            name: (
+                value.cache_token()
+                if hasattr(value, "cache_token")
+                else value
+            )
+            for name, value in params.items()
+        }
         payload = json.dumps(
             {
                 "kind": kind,
-                "params": params,
+                "params": canonical,
                 "version": CACHE_VERSION,
                 "salt": _code_salt(),
             },

@@ -1,0 +1,47 @@
+"""Deterministic fault injection for the simulated machine and staging.
+
+The paper's autonomic loop is only interesting if it keeps adapting when
+the substrate misbehaves.  This package provides the perturbation layer:
+
+- :mod:`repro.faults.plan` -- :class:`FaultPlan` and the typed fault
+  records (:data:`FAULT_KINDS` is the closed registry);
+- :mod:`repro.faults.injector` -- :class:`FaultInjector`, which schedules
+  a plan against a live :class:`~repro.hpc.event.Simulator`,
+  :class:`~repro.hpc.network.Network` and
+  :class:`~repro.staging.area.StagingArea`;
+- :mod:`repro.faults.scenarios` -- named seedable scenarios
+  (:data:`SCENARIOS`) used by ``python -m repro faults``.
+
+Everything is opt-in: components take ``faults=None`` and a run without
+an injector is byte-identical to one built before this package existed.
+See ``docs/faults.md`` for the fault model and recovery-policy matrix.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import (
+    FAULT_KINDS,
+    CoreLoss,
+    CoreRestore,
+    Fault,
+    FaultPlan,
+    LinkDegrade,
+    ObjectCorrupt,
+    ObjectDrop,
+    Straggler,
+)
+from repro.faults.scenarios import SCENARIOS, build_scenario
+
+__all__ = [
+    "FAULT_KINDS",
+    "SCENARIOS",
+    "CoreLoss",
+    "CoreRestore",
+    "Fault",
+    "FaultInjector",
+    "FaultPlan",
+    "LinkDegrade",
+    "ObjectCorrupt",
+    "ObjectDrop",
+    "Straggler",
+    "build_scenario",
+]

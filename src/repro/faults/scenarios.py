@@ -1,0 +1,145 @@
+"""Named, seedable fault scenarios for the CLI and tests.
+
+Each builder maps ``(horizon, seed, staging_cores, steps)`` to a
+:class:`~repro.faults.plan.FaultPlan` deterministically: all randomness
+comes from ``numpy.random.default_rng(seed)``, and fault timings are
+expressed as fractions of the fault-free run's end-to-end time
+(``horizon``), so the same scenario stresses the same phase of any
+workflow regardless of its absolute scale.
+
+:data:`SCENARIOS` is the registry the ``python -m repro faults`` CLI
+dispatches on; ``docs/faults.md`` documents every entry and the
+docs-consistency suite keeps the two in sync.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import FaultError
+from repro.faults.plan import (
+    CoreLoss,
+    CoreRestore,
+    FaultPlan,
+    LinkDegrade,
+    ObjectCorrupt,
+    ObjectDrop,
+    Straggler,
+)
+
+__all__ = ["SCENARIOS", "build_scenario"]
+
+
+def _core_loss(horizon, rng, staging_cores, steps):
+    lost = max(1, staging_cores // 2)
+    return FaultPlan([
+        CoreLoss(at=0.3 * horizon, cores=lost),
+        CoreRestore(at=0.7 * horizon, cores=lost),
+    ])
+
+
+def _blackout(horizon, rng, staging_cores, steps):
+    return FaultPlan([
+        CoreLoss(at=0.35 * horizon, cores=staging_cores),
+        CoreRestore(at=0.65 * horizon, cores=staging_cores),
+    ])
+
+
+def _link_brownout(horizon, rng, staging_cores, steps):
+    return FaultPlan([
+        LinkDegrade(
+            at=0.25 * horizon,
+            duration=0.4 * horizon,
+            bandwidth_factor=0.1,
+            latency_factor=10.0,
+        ),
+    ])
+
+
+def _stragglers(horizon, rng, staging_cores, steps):
+    faults = []
+    for _ in range(3):
+        start = float(rng.uniform(0.1, 0.8)) * horizon
+        length = float(rng.uniform(0.05, 0.2)) * horizon
+        factor = float(rng.uniform(2.0, 6.0))
+        faults.append(Straggler(at=start, duration=length, factor=factor))
+    return FaultPlan(faults)
+
+
+def _flaky_ingest(horizon, rng, staging_cores, steps):
+    faults = []
+    for step in range(steps):
+        if rng.random() < 0.25:
+            faults.append(ObjectDrop(step=step, count=int(rng.integers(1, 3))))
+    if not faults:
+        faults.append(ObjectDrop(step=0, count=1))
+    return FaultPlan(faults)
+
+
+def _cascade(horizon, rng, staging_cores, steps):
+    lost = max(1, staging_cores // 2)
+    corrupt_step = int(rng.integers(0, max(1, steps // 2)))
+    return FaultPlan([
+        LinkDegrade(
+            at=0.15 * horizon,
+            duration=0.25 * horizon,
+            bandwidth_factor=0.2,
+            latency_factor=4.0,
+        ),
+        CoreLoss(at=0.3 * horizon, cores=lost),
+        Straggler(at=0.4 * horizon, duration=0.2 * horizon, factor=3.0),
+        CoreRestore(at=0.75 * horizon, cores=lost),
+        ObjectCorrupt(step=corrupt_step, repeats=1),
+    ])
+
+
+#: Registry: scenario name -> (one-line description, builder).
+SCENARIOS: dict[str, tuple[str, Callable]] = {
+    "core-loss": (
+        "half the staging cores die mid-run and return later",
+        _core_loss,
+    ),
+    "blackout": (
+        "every staging core dies for the middle third of the run "
+        "(forces the in-situ fallback)",
+        _blackout,
+    ),
+    "link-brownout": (
+        "the sim->staging link runs at 10% bandwidth and 10x latency "
+        "for a window",
+        _link_brownout,
+    ),
+    "stragglers": (
+        "three random windows where staging service runs 2-6x slower",
+        _stragglers,
+    ),
+    "flaky-ingest": (
+        "~25% of steps have their ingest corrupted in flight and retried",
+        _flaky_ingest,
+    ),
+    "cascade": (
+        "brownout, then core loss, then stragglers, plus one at-rest "
+        "corruption",
+        _cascade,
+    ),
+}
+
+
+def build_scenario(
+    name: str,
+    horizon: float,
+    seed: int = 0,
+    staging_cores: int = 64,
+    steps: int = 20,
+) -> FaultPlan:
+    """Build the named scenario's plan for a run of ``horizon`` seconds."""
+    if name not in SCENARIOS:
+        known = ", ".join(sorted(SCENARIOS))
+        raise FaultError(f"unknown fault scenario {name!r}; known: {known}")
+    if horizon <= 0:
+        raise FaultError(f"horizon must be positive, got {horizon}")
+    _description, builder = SCENARIOS[name]
+    rng = np.random.default_rng(seed)
+    return builder(horizon, rng, staging_cores, steps)

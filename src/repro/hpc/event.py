@@ -284,11 +284,16 @@ class Simulator:
         assert sim.now == 1.5 and proc.value == "done"
     """
 
-    def __init__(self):
+    def __init__(self, faults: Any = None):
         self._now = 0.0
         self._heap: list[tuple[float, int, Callable[[], None]]] = []
         self._counter = 0
         self._unhandled: list[tuple[Process, BaseException]] = []
+        # Optional fault injector (repro.faults.FaultInjector); duck-typed
+        # so the kernel stays free of upward imports.
+        self.faults = faults
+        if faults is not None:
+            faults.attach_simulator(self)
 
     @property
     def now(self) -> float:

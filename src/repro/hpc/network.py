@@ -103,6 +103,28 @@ class Network:
         self._route_cache.clear()
         return link
 
+    def update_link(self, a: str, b: str, bandwidth: float | None = None,
+                    latency: float | None = None) -> Link:
+        """Mutate a live link's capacity and/or latency.
+
+        Progress of active flows is materialized at the old rates before
+        the change and rates are recomputed after it, so the mutation is
+        exact at the current timestamp.  New latency only affects
+        transfers admitted after the change.
+        """
+        link = self.link_between(a, b)
+        if bandwidth is not None and bandwidth <= 0:
+            raise SimulationError(f"link {link.name!r} needs positive bandwidth")
+        if latency is not None and latency < 0:
+            raise SimulationError(f"link {link.name!r} has negative latency")
+        self._materialize_progress()
+        if bandwidth is not None:
+            link.bandwidth = float(bandwidth)
+        if latency is not None:
+            link.latency = float(latency)
+        self._reschedule()
+        return link
+
     def link_between(self, a: str, b: str) -> Link:
         """The link directly joining ``a`` and ``b``."""
         try:

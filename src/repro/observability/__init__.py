@@ -69,7 +69,11 @@ from repro.observability.metrics import (
     Gauge,
     MetricsRegistry,
 )
-from repro.observability.timeline import decision_timeline, occupancy_gantt
+from repro.observability.timeline import (
+    decision_timeline,
+    fault_timeline,
+    occupancy_gantt,
+)
 from repro.observability.tracer import Tracer, read_jsonl
 
 __all__ = [
@@ -95,6 +99,7 @@ __all__ = [
     "diff_bench",
     "diff_snapshots",
     "export_snapshot",
+    "fault_timeline",
     "load_bench",
     "load_snapshot",
     "occupancy_gantt",

@@ -22,14 +22,19 @@ __all__ = [
     "ADAPT_ACTION",
     "ADAPT_DECISION",
     "EVENT_KINDS",
+    "FAULT_CLEARED",
+    "FAULT_INJECTED",
     "MONITOR_SAMPLE",
+    "PLACEMENT_FALLBACK",
     "RUN_END",
     "RUN_START",
     "SIM_STALL",
     "STAGING_INGEST",
+    "STAGING_JOB_ABORT",
     "STAGING_JOB_END",
     "STAGING_JOB_START",
     "STAGING_RESIZE",
+    "STAGING_RETRY",
     "STAGING_SUBMIT",
     "STEP_END",
     "STEP_START",
@@ -51,6 +56,11 @@ STAGING_INGEST = "staging.ingest"
 STAGING_JOB_START = "staging.job_start"
 STAGING_JOB_END = "staging.job_end"
 STAGING_RESIZE = "staging.resize"
+FAULT_INJECTED = "fault.injected"
+FAULT_CLEARED = "fault.cleared"
+STAGING_RETRY = "staging.retry"
+STAGING_JOB_ABORT = "staging.job_abort"
+PLACEMENT_FALLBACK = "placement.fallback"
 
 #: Every kind the built-in instrumentation emits, with a one-line meaning.
 EVENT_KINDS: dict[str, str] = {
@@ -67,6 +77,15 @@ EVENT_KINDS: dict[str, str] = {
     STAGING_JOB_START: "a staging job started service on the active cores",
     STAGING_JOB_END: "a staging job finished and released its memory",
     STAGING_RESIZE: "the resource layer resized the active staging cores",
+    FAULT_INJECTED: "the fault injector applied a planned fault",
+    FAULT_CLEARED: "a windowed fault (degrade/straggler) ended, or cores "
+    "were restored",
+    STAGING_RETRY: "a staging ingest attempt failed and is being retried "
+    "with backoff",
+    STAGING_JOB_ABORT: "a running staging job was aborted by core loss and "
+    "requeued",
+    PLACEMENT_FALLBACK: "the driver degraded a staging placement to in-situ "
+    "(staging unreachable)",
 }
 
 

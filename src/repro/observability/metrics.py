@@ -46,6 +46,10 @@ METRIC_NAMES: dict[str, str] = {
     "from memory or disk",
     "experiments.cache_misses": "counter: experiment cache lookups that "
     "had to compute",
+    "faults.injected": "counter: planned faults the injector applied",
+    "staging.retries": "counter: staging ingest attempts retried with backoff",
+    "placement.fallbacks": "counter: staging placements degraded to in-situ "
+    "because staging was unreachable",
 }
 
 

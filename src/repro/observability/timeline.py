@@ -8,7 +8,10 @@ Two views of one trace, both plain text (the repo's output discipline):
   can be read end to end;
 - :func:`occupancy_gantt` -- the Fig.-4-style picture: simulation-core
   occupancy (with stalls marked) over staging-core occupancy, on a
-  shared simulated-time axis.
+  shared simulated-time axis;
+- :func:`fault_timeline` -- injected faults, retries, aborts and
+  placement fallbacks in chronological order (the ``repro faults`` CLI's
+  output).
 """
 
 from __future__ import annotations
@@ -16,15 +19,20 @@ from __future__ import annotations
 from repro.observability.events import (
     ADAPT_ACTION,
     ADAPT_DECISION,
+    FAULT_CLEARED,
+    FAULT_INJECTED,
+    PLACEMENT_FALLBACK,
     SIM_STALL,
+    STAGING_JOB_ABORT,
     STAGING_JOB_END,
     STAGING_JOB_START,
+    STAGING_RETRY,
     STEP_END,
     STEP_START,
 )
 from repro.observability.tracer import Tracer
 
-__all__ = ["decision_timeline", "occupancy_gantt"]
+__all__ = ["decision_timeline", "fault_timeline", "occupancy_gantt"]
 
 
 def _fmt(value: object) -> str:
@@ -158,4 +166,53 @@ def occupancy_gantt(tracer: Tracer, width: int = 72) -> str:
         f"          {axis}",
         "          = busy   x stalled   . idle",
     ]
+    return "\n".join(lines)
+
+
+#: Event kinds rendered by :func:`fault_timeline`, in emission order.
+_FAULT_TIMELINE_KINDS = (
+    FAULT_INJECTED,
+    FAULT_CLEARED,
+    STAGING_RETRY,
+    STAGING_JOB_ABORT,
+    PLACEMENT_FALLBACK,
+)
+
+
+def fault_timeline(tracer: Tracer) -> str:
+    """Chronological log of injected faults and the recovery they triggered.
+
+    One line per ``fault.injected`` / ``fault.cleared`` /
+    ``staging.retry`` / ``staging.job_abort`` / ``placement.fallback``
+    event, plus any degraded adaptation decisions, so an operator can
+    read cause (injection) and effect (recovery decision) off one page.
+    """
+    banner = _truncation_banner(tracer)
+    picked = [
+        e for e in tracer.events()
+        if e.kind in _FAULT_TIMELINE_KINDS
+        or (e.kind == ADAPT_DECISION and e.fields.get("degraded"))
+    ]
+    if not picked:
+        empty = "(no fault activity in trace)"
+        return f"{banner}\n{empty}" if banner else empty
+    lines = [banner] if banner else []
+    for event in picked:
+        if event.kind == ADAPT_DECISION:
+            what = "adapt.decision DEGRADED placement=in_situ"
+        else:
+            detail = " ".join(
+                f"{k}={_fmt(v)}"
+                for k, v in event.fields.items()
+                if k != "fault"
+            )
+            if event.kind == FAULT_INJECTED:
+                parts = ["inject", event.fields.get("fault", "?"), detail]
+            elif event.kind == FAULT_CLEARED:
+                parts = ["clear", event.fields.get("fault", "?"), detail]
+            else:
+                parts = [event.kind, detail]
+            what = " ".join(p for p in parts if p)
+        step = f" step={event.step}" if event.step is not None else ""
+        lines.append(f"t={event.ts:10.3f}s{step}  {what}")
     return "\n".join(lines)

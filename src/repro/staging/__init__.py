@@ -13,14 +13,15 @@ provides the equivalent over the simulated machine:
   pool of staging cores executing analysis jobs, with ingest transfers
   over the simulated network and utilization accounting (Eq. 12);
 - :mod:`repro.staging.messaging` -- topic pub/sub, mirroring the
-  messaging layer of the authors' earlier work.
+  messaging layer of the authors' earlier work, plus the bounded
+  retry-with-backoff recovery policy used by faulted ingests.
 """
 
 from repro.staging.objects import DataObject
 from repro.staging.index import BoxIndex
 from repro.staging.space import DataSpace
 from repro.staging.area import AnalysisJob, StagingArea
-from repro.staging.messaging import MessageBus
+from repro.staging.messaging import MessageBus, RetryPolicy, retry_with_backoff
 
 __all__ = [
     "AnalysisJob",
@@ -28,5 +29,7 @@ __all__ = [
     "DataObject",
     "DataSpace",
     "MessageBus",
+    "RetryPolicy",
     "StagingArea",
+    "retry_with_backoff",
 ]

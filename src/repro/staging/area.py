@@ -23,16 +23,19 @@ import itertools
 from dataclasses import dataclass, field
 
 from repro.errors import StagingError
-from repro.hpc.event import Event, Simulator
+from repro.hpc.event import Event, Interrupt, Simulator
 from repro.hpc.network import Network
 from repro.hpc.resources import Store
 from repro.observability.events import (
     STAGING_INGEST,
+    STAGING_JOB_ABORT,
     STAGING_JOB_END,
     STAGING_JOB_START,
     STAGING_RESIZE,
+    STAGING_RETRY,
     STAGING_SUBMIT,
 )
+from repro.staging.messaging import RetryPolicy, retry_with_backoff
 from repro.observability.ledger import PredictionLedger
 from repro.observability.metrics import MetricsRegistry
 from repro.observability.tracer import Tracer
@@ -95,6 +98,17 @@ class StagingArea:
         ``staging.*`` events and publish counters/gauges, and each
         submission resolves the middleware layer's pending
         ``memory_demand`` prediction with the bytes actually ingested.
+    faults:
+        Optional :class:`repro.faults.FaultInjector`.  When attached, the
+        area can lose and regain cores (:meth:`fail_cores` /
+        :meth:`restore_cores`), ingest attempts the plan marks as dropped
+        are retried under ``retry_policy``, corrupted analyses re-run from
+        the staged copy, and straggler windows stretch service times.
+        When ``None`` (the default) every code path is byte-identical to
+        the fault-free area.
+    retry_policy:
+        Bounded-backoff policy for faulted ingest attempts (only consulted
+        when a fault plan drops objects).
     """
 
     def __init__(
@@ -110,6 +124,8 @@ class StagingArea:
         tracer: Tracer | None = None,
         metrics: MetricsRegistry | None = None,
         ledger: PredictionLedger | None = None,
+        faults=None,
+        retry_policy: RetryPolicy | None = None,
     ):
         if total_cores < 1:
             raise StagingError(f"need at least one staging core, got {total_cores}")
@@ -131,6 +147,10 @@ class StagingArea:
         self.tracer = tracer
         self.metrics = metrics
         self.ledger = ledger
+        self.faults = faults
+        self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
+        self._failed_cores = 0
+        self._restored: Event | None = None
 
         self._ids = itertools.count()
         self._queue: Store = Store(sim, name="staging-jobs")
@@ -148,6 +168,8 @@ class StagingArea:
         self.core_history: list[_CoreSample] = [_CoreSample(sim.now, self._active_cores)]
 
         self._worker = sim.process(self._serve(), name="staging-worker")
+        if faults is not None:
+            faults.attach_staging(self)
 
     # -- resource-layer actuator ------------------------------------------------
 
@@ -162,6 +184,10 @@ class StagingArea:
             raise StagingError(
                 f"active core count {count} outside [1, {self.total_cores}]"
             )
+        if self._failed_cores and self.healthy_cores >= 1:
+            # Failed cores cannot be enabled; clamp silently so the
+            # resource layer's sizing still applies after a core loss.
+            count = min(count, self.healthy_cores)
         previous = self._active_cores
         self._account_alloc()
         self._active_cores = int(count)
@@ -173,8 +199,68 @@ class StagingArea:
 
     def _account_alloc(self) -> None:
         now = self.sim.now
-        self._alloc_core_seconds += self._active_cores * (now - self._alloc_last_change)
+        # During a blackout (no healthy cores) nothing is effectively
+        # allocated; with no faults this is exactly the active count.
+        effective = self._active_cores if self.reachable else 0
+        self._alloc_core_seconds += effective * (now - self._alloc_last_change)
         self._alloc_last_change = now
+
+    # -- fault surface -----------------------------------------------------------
+
+    @property
+    def failed_cores(self) -> int:
+        """Cores currently dead (0 unless a fault plan killed some)."""
+        return self._failed_cores
+
+    @property
+    def healthy_cores(self) -> int:
+        """Physically usable cores: ``total_cores - failed_cores``."""
+        return self.total_cores - self._failed_cores
+
+    @property
+    def reachable(self) -> bool:
+        """False only during a total staging blackout (every core dead)."""
+        return self._failed_cores < self.total_cores
+
+    def fail_cores(self, count: int) -> int:
+        """Kill up to ``count`` staging cores; returns how many actually died.
+
+        The active set is clamped to the surviving cores, and a running
+        job that loses cores it was using aborts and re-runs from its
+        staged copy once cores are available again.
+        """
+        if count < 1:
+            raise StagingError(f"fail_cores needs count >= 1, got {count}")
+        killed = min(count, self.healthy_cores)
+        if killed == 0:
+            return 0
+        self._account_alloc()
+        self._failed_cores += killed
+        if self.healthy_cores >= 1 and self._active_cores > self.healthy_cores:
+            self.set_active_cores(self.healthy_cores)
+        if self._running is not None and self._running.cores_used > self.healthy_cores:
+            self._worker.interrupt("core loss")
+        return killed
+
+    def restore_cores(self, count: int) -> int:
+        """Return up to ``count`` failed cores; returns how many came back.
+
+        Restored cores rejoin as allocated-but-inactive; the resource
+        layer re-enables them on its next resize.  If the area was
+        unreachable, service resumes and aborted work re-runs.
+        """
+        if count < 1:
+            raise StagingError(f"restore_cores needs count >= 1, got {count}")
+        revived = min(count, self._failed_cores)
+        if revived == 0:
+            return 0
+        was_unreachable = not self.reachable
+        self._account_alloc()
+        self._failed_cores -= revived
+        if was_unreachable and self.reachable and self._restored is not None:
+            restored, self._restored = self._restored, None
+            restored.succeed()
+        return revived
 
     # -- job submission -----------------------------------------------------------
 
@@ -196,6 +282,10 @@ class StagingArea:
         data -- callers (the middleware policy) must check :meth:`can_fit`
         first; the paper falls back to in-situ in that case.
         """
+        if not self.reachable:
+            raise StagingError(
+                "staging unreachable: every staging core has failed"
+            )
         if not self.can_fit(nbytes):
             raise StagingError(
                 f"staging memory full: {self.memory_used:.0f} + {nbytes:.0f} "
@@ -211,7 +301,7 @@ class StagingArea:
             nbytes=nbytes,
             work_units=work_units,
             submitted_at=self.sim.now,
-            ingest_done=self.network.transfer(self.src, self.dst, nbytes),
+            ingest_done=self._ingest(step, nbytes),
             done=self.sim.event(name=f"analysis(step={step})"),
         )
         self._queued_work += work_units
@@ -242,31 +332,100 @@ class StagingArea:
                 STAGING_INGEST, step=job.step, job_id=job.job_id, nbytes=job.nbytes
             )
 
+    def _ingest(self, step: int, nbytes: float) -> Event:
+        """Start the ingest transfer, retrying under faults when planned.
+
+        The returned event fires with the accepted
+        :class:`~repro.hpc.network.Transfer`; on the fault-free path it is
+        exactly the network's completion event.
+        """
+        if self.faults is None or not self.faults.may_drop(step):
+            return self.network.transfer(self.src, self.dst, nbytes)
+
+        def _attempt(_k: int) -> Event:
+            return self.network.transfer(self.src, self.dst, nbytes)
+
+        def _accept(_k: int, _transfer) -> bool:
+            return not self.faults.consume_drop(step)
+
+        def _on_retry(k: int, delay: float) -> None:
+            if self.metrics is not None:
+                self.metrics.counter("staging.retries").inc()
+            if self.tracer is not None and self.tracer.enabled:
+                self.tracer.emit(
+                    STAGING_RETRY,
+                    step=step,
+                    attempt=k + 1,
+                    backoff_seconds=delay,
+                    nbytes=nbytes,
+                )
+
+        return retry_with_backoff(
+            self.sim,
+            _attempt,
+            self.retry_policy,
+            accept=_accept,
+            on_retry=_on_retry,
+            describe=f"ingest(step={step})",
+        )
+
     def _serve(self):
         while True:
             job: AnalysisJob = yield self._queue.get()
             # Data must have arrived before analysis can touch it.
             yield job.ingest_done
             self._queued_work -= job.work_units
-            cores = self._active_cores
-            duration = self.service_time(job.work_units, cores)
-            job.started_at = self.sim.now
-            job.cores_used = cores
-            self._running = job
-            self._running_ends_at = self.sim.now + duration
-            if self.tracer is not None and self.tracer.enabled:
-                self.tracer.emit(
-                    STAGING_JOB_START,
-                    step=job.step,
-                    job_id=job.job_id,
-                    cores=cores,
-                    queue_delay=job.queue_delay,
-                    work_units=job.work_units,
-                )
-            yield self.sim.timeout(duration)
-            self._busy_core_seconds += cores * duration
+            while True:
+                if self.faults is not None and not self.reachable:
+                    # Total blackout: hold the staged copy until cores
+                    # return, then resume service.
+                    self._restored = self.sim.event(name="staging-restored")
+                    self._queued_work += job.work_units
+                    yield self._restored
+                    self._queued_work -= job.work_units
+                cores = self._active_cores
+                duration = self.service_time(job.work_units, cores)
+                if self.faults is not None:
+                    duration *= self.faults.service_multiplier(self.sim.now)
+                job.started_at = self.sim.now
+                job.cores_used = cores
+                self._running = job
+                self._running_ends_at = self.sim.now + duration
+                if self.tracer is not None and self.tracer.enabled:
+                    self.tracer.emit(
+                        STAGING_JOB_START,
+                        step=job.step,
+                        job_id=job.job_id,
+                        cores=cores,
+                        queue_delay=job.queue_delay,
+                        work_units=job.work_units,
+                    )
+                try:
+                    yield self.sim.timeout(duration)
+                except Interrupt as interrupt:
+                    # Core loss aborted the pass; the partial service is
+                    # real core time, and the job re-runs from the staged
+                    # copy (analysis is idempotent).
+                    elapsed = max(0.0, self.sim.now - job.started_at)
+                    self._busy_core_seconds += cores * elapsed
+                    self._running = None
+                    if self.tracer is not None and self.tracer.enabled:
+                        self.tracer.emit(
+                            STAGING_JOB_ABORT,
+                            step=job.step,
+                            job_id=job.job_id,
+                            cause=str(interrupt.cause),
+                            lost_seconds=elapsed,
+                        )
+                    continue
+                self._busy_core_seconds += cores * duration
+                self._running = None
+                if self.faults is not None and self.faults.consume_corrupt(job.step):
+                    # At-rest corruption detected on completion: the result
+                    # is discarded and the job re-runs from the staged copy.
+                    continue
+                break
             job.finished_at = self.sim.now
-            self._running = None
             # Clamp: float residue must never drive the gauge negative.
             self.memory_used = max(0.0, self.memory_used - job.nbytes)
             self.completed.append(job)

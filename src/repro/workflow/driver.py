@@ -24,10 +24,12 @@ from repro.core.actions import Placement
 from repro.core.engine import AdaptationDecision, AdaptationEngine
 from repro.core.monitor import Monitor
 from repro.errors import WorkflowError
+from repro.faults import FaultInjector, FaultPlan
 from repro.hpc.event import Simulator
 from repro.hpc.filesystem import ParallelFileSystem
 from repro.hpc.systems import build_workflow_machine
 from repro.observability.events import (
+    PLACEMENT_FALLBACK,
     RUN_END,
     RUN_START,
     SIM_STALL,
@@ -57,6 +59,15 @@ class CoupledWorkflow:
     in-situ/in-transit placement against its exact counterfactual.
     Left as ``None`` (the default), instrumentation reduces to
     ``is not None`` tests.
+
+    ``faults`` accepts a :class:`~repro.faults.FaultPlan` (wrapped in an
+    injector sharing this run's tracer/metrics) or a pre-built
+    :class:`~repro.faults.FaultInjector`; the driver attaches it to the
+    simulator, the network and the staging area and arms it.  Injected
+    faults surface as ``fault.*`` trace events; the driver degrades
+    staging placements to in-situ while staging is unreachable
+    (``placement.fallback``) and re-runs the adaptation plan when the
+    healthy core count changes, even off the sampling interval.
     """
 
     def __init__(
@@ -66,12 +77,16 @@ class CoupledWorkflow:
         tracer: Tracer | None = None,
         metrics: MetricsRegistry | None = None,
         ledger: PredictionLedger | None = None,
+        faults: FaultPlan | FaultInjector | None = None,
     ):
         if not len(trace):
             raise WorkflowError("trace has no steps")
         self.config = config
         self.trace = trace
-        self.sim = Simulator()
+        if isinstance(faults, FaultPlan):
+            faults = FaultInjector(faults, tracer=tracer, metrics=metrics)
+        self.faults = faults
+        self.sim = Simulator(faults=faults)
         self.tracer = tracer
         self.metrics = metrics
         self.ledger = ledger
@@ -93,7 +108,11 @@ class CoupledWorkflow:
             tracer=tracer,
             metrics=metrics,
             ledger=ledger,
+            faults=faults,
         )
+        if faults is not None:
+            faults.attach_network(self.network)
+            faults.arm()
         self.pfs = ParallelFileSystem(
             self.sim,
             self.network,
@@ -146,6 +165,7 @@ class CoupledWorkflow:
         self._total_sim_seconds = 0.0
         self._post_tasks: list[tuple[StepMetrics, float, float]] = []
         self._post_busy_core_seconds = 0.0
+        self._last_healthy = self.staging.healthy_cores
 
     # -- public API ---------------------------------------------------------
 
@@ -288,6 +308,24 @@ class CoupledWorkflow:
                     )
 
             placement = decision.placement or Placement.IN_TRANSIT
+            if (
+                self.faults is not None
+                and placement in (Placement.IN_TRANSIT, Placement.HYBRID)
+                and not self.staging.reachable
+            ):
+                # Recovery: staging has no healthy cores, so a staged
+                # placement cannot execute.  Degrade to in-situ.
+                if self.metrics is not None:
+                    self.metrics.counter("placement.fallbacks").inc()
+                if self.tracer is not None and self.tracer.enabled:
+                    self.tracer.emit(
+                        PLACEMENT_FALLBACK,
+                        step=record.step,
+                        requested=placement.value,
+                        placement=Placement.IN_SITU.value,
+                        reason="staging unreachable",
+                    )
+                placement = Placement.IN_SITU
             metric = StepMetrics(
                 step=record.step,
                 sim_seconds=sim_seconds,
@@ -442,8 +480,15 @@ class CoupledWorkflow:
         if mode is Mode.STATIC_INTRANSIT:
             return AdaptationDecision(step=step, placement=Placement.IN_TRANSIT)
         assert self.engine is not None
-        if not self.monitor.should_sample(step) and last is not None:
-            # Off-sample steps keep the previous adaptation settings.
+        healthy = self.staging.healthy_cores
+        if (
+            not self.monitor.should_sample(step)
+            and last is not None
+            and healthy == self._last_healthy
+        ):
+            # Off-sample steps keep the previous adaptation settings --
+            # unless a fault changed the healthy core count, which forces
+            # the plan (Eqs. 9-10 sizing included) to re-run immediately.
             return AdaptationDecision(
                 step=step,
                 factor=last.factor,
@@ -451,6 +496,7 @@ class CoupledWorkflow:
                 insitu_fraction=last.insitu_fraction,
                 staging_cores=last.staging_cores,
             )
+        self._last_healthy = healthy
         state = self.monitor.snapshot(
             step=step,
             ndim=self.trace.ndim,
@@ -459,8 +505,11 @@ class CoupledWorkflow:
             rank_memory_available=rank_available,
             analysis_work=analysis_work,
             sim_cores=self.config.sim_cores,
-            staging_active_cores=self.staging.active_cores,
-            staging_total_cores=self.staging.total_cores,
+            # The resource layer sizes against what is physically usable:
+            # after a core loss this is the surviving pool (healthy ==
+            # total on the fault-free path).
+            staging_active_cores=min(self.staging.active_cores, max(1, healthy)),
+            staging_total_cores=max(1, healthy),
             staging_memory_total=self.staging.memory_total,
             staging_memory_used=self.staging.memory_used,
             staging_busy=self.staging.busy,
@@ -468,6 +517,7 @@ class CoupledWorkflow:
             insitu_memory_ok=insitu_ok,
             core_rate=self.config.spec.core_rate,
             steps_remaining=steps_remaining,
+            staging_reachable=self.staging.reachable,
         )
         decision = self.engine.adapt(state)
         # Layers the mode leaves unset fall back to static defaults.
@@ -567,8 +617,10 @@ def run_workflow(
     tracer: Tracer | None = None,
     metrics: MetricsRegistry | None = None,
     ledger: PredictionLedger | None = None,
+    faults: FaultPlan | FaultInjector | None = None,
 ) -> WorkflowResult:
     """Convenience: build and run a workflow in one call."""
     return CoupledWorkflow(
-        config, trace, tracer=tracer, metrics=metrics, ledger=ledger
+        config, trace, tracer=tracer, metrics=metrics, ledger=ledger,
+        faults=faults,
     ).run()

@@ -1,18 +1,23 @@
 """Docs-consistency check: the documentation cannot silently rot.
 
-Asserts that everything the observability layer and the CLI expose is
-actually documented: every public symbol in
-``repro.observability.__all__``, every registered event kind and metric
-name, and every CLI subcommand must appear in the docs.  A new event
-kind or public symbol without a matching docs edit fails CI here.
+Asserts that everything the observability layer, the fault subsystem and
+the CLI expose is actually documented: every public symbol in
+``repro.observability.__all__`` and ``repro.faults.__all__``, every
+registered event kind, metric name, fault kind and fault scenario, and
+every CLI subcommand must appear in the docs.  A new event kind or
+public symbol without a matching docs edit fails CI here — as does a
+broken intra-repo markdown link (the CI docs job runs this module).
 """
 
+import re
 from pathlib import Path
 
 import pytest
 
+import repro.faults as faults
 import repro.observability as observability
 from repro.__main__ import EXPERIMENTS, SUBCOMMANDS
+from repro.faults import FAULT_KINDS, SCENARIOS
 from repro.observability import (
     EVENT_KINDS,
     METRIC_NAMES,
@@ -23,6 +28,7 @@ from repro.observability import (
 REPO = Path(__file__).resolve().parent.parent
 OBSERVABILITY_DOC = REPO / "docs" / "observability.md"
 PERFORMANCE_DOC = REPO / "docs" / "performance.md"
+FAULTS_DOC = REPO / "docs" / "faults.md"
 
 
 @pytest.fixture(scope="module")
@@ -103,6 +109,109 @@ class TestPerformanceDocs:
         text = (REPO / "docs" / "architecture.md").read_text()
         assert "performance.md" in text
         assert "repro.experiments.cache" in text
+
+
+class TestFaultDocs:
+    @pytest.fixture(scope="class")
+    def faults_doc(self) -> str:
+        assert FAULTS_DOC.exists(), "docs/faults.md is missing"
+        return FAULTS_DOC.read_text()
+
+    def test_every_fault_kind_documented(self, faults_doc):
+        missing = [kind for kind in FAULT_KINDS
+                   if f"`{kind}`" not in faults_doc]
+        assert not missing, f"undocumented fault kinds: {missing}"
+
+    def test_every_public_symbol_documented(self, faults_doc):
+        missing = [name for name in faults.__all__ if name not in faults_doc]
+        assert not missing, f"undocumented fault symbols: {missing}"
+
+    def test_every_scenario_documented(self, faults_doc):
+        missing = [name for name in SCENARIOS
+                   if f"`{name}`" not in faults_doc]
+        assert not missing, f"undocumented fault scenarios: {missing}"
+
+    def test_fault_event_kinds_and_metrics_documented(self, observability_doc):
+        for name in ("fault.injected", "fault.cleared", "staging.retry",
+                     "staging.job_abort", "placement.fallback",
+                     "faults.injected", "staging.retries",
+                     "placement.fallbacks"):
+            assert f"`{name}`" in observability_doc, (
+                f"{name} missing from docs/observability.md"
+            )
+
+    def test_linked_from_readme_and_architecture(self):
+        assert "faults.md" in (REPO / "README.md").read_text()
+        assert "faults.md" in (REPO / "docs" / "architecture.md").read_text()
+
+    def test_cache_interaction_documented(self):
+        text = PERFORMANCE_DOC.read_text()
+        assert "cache_token" in text
+        assert "FaultPlan" in text
+
+
+def _markdown_links(text: str):
+    """Every ``[label](target)`` in ``text``, skipping fenced code blocks."""
+    out = []
+    in_fence = False
+    for line in text.splitlines():
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        out.extend(re.findall(r"\[[^\]]*\]\(([^)\s]+)\)", line))
+    return out
+
+
+class TestDocLinks:
+    """No intra-repo markdown link may dangle (the CI docs job's teeth)."""
+
+    def _doc_files(self):
+        return sorted((REPO).glob("*.md")) + sorted((REPO / "docs").glob("*.md"))
+
+    def test_relative_links_resolve(self):
+        broken = []
+        for doc in self._doc_files():
+            for target in _markdown_links(doc.read_text()):
+                if target.startswith(("http://", "https://", "mailto:", "#")):
+                    continue
+                path = target.split("#", 1)[0]
+                if not path:
+                    continue
+                resolved = (doc.parent / path).resolve()
+                if not resolved.exists():
+                    broken.append(f"{doc.relative_to(REPO)} -> {target}")
+        assert not broken, f"broken intra-repo markdown links: {broken}"
+
+    def test_anchored_doc_links_point_at_real_headings(self):
+        """For ``page.md#anchor`` links, the anchor must match a heading
+        slug in the target page (GitHub's slug rules, simplified)."""
+
+        def slugify(heading: str) -> str:
+            slug = re.sub(r"[`*]", "", heading.strip().lower())
+            slug = re.sub(r"[^\w\- ]", "", slug)
+            return slug.replace(" ", "-")
+
+        broken = []
+        for doc in self._doc_files():
+            for target in _markdown_links(doc.read_text()):
+                if target.startswith(("http://", "https://", "mailto:")):
+                    continue
+                if "#" not in target:
+                    continue
+                path, anchor = target.split("#", 1)
+                dest = doc if not path else (doc.parent / path).resolve()
+                if not dest.exists() or dest.suffix != ".md":
+                    continue
+                headings = [
+                    slugify(line.lstrip("#"))
+                    for line in dest.read_text().splitlines()
+                    if line.startswith("#")
+                ]
+                if slugify(anchor) not in headings:
+                    broken.append(f"{doc.relative_to(REPO)} -> {target}")
+        assert not broken, f"dangling markdown anchors: {broken}"
 
 
 class TestApiDocs:
