@@ -1,0 +1,29 @@
+"""Bench: the parallel sweep runner on a small two-experiment slice.
+
+Measures ``run_all`` end to end (grid expansion, worker fan-out when
+``REPRO_BENCH_JOBS > 1``, grid-ordered merge and render) rather than any
+one figure's solver.  The snapshot's top-level ``jobs`` field records
+the worker count used, so wall times measured at different parallelism
+are never diffed as like-for-like.
+"""
+
+from benchmarks.conftest import bench_jobs
+
+from repro.experiments.parallel import run_all
+
+#: Small grids: the point here is runner overhead, not solver cost.
+_GRIDS = {
+    "fig6": [{"n": 16, "nsteps": 4}],
+    "fig9": [{"role": "static", "steps": 8}, {"role": "adaptive", "steps": 8}],
+}
+
+
+def test_run_all_sweep(once):
+    jobs = bench_jobs()
+    outcomes = once(run_all, ["fig6", "fig9"], jobs=jobs, grids=_GRIDS)
+    for outcome in outcomes:
+        print(f"\n{outcome.name}: {outcome.points} point(s), "
+              f"jobs={outcome.jobs}, compute {outcome.seconds:.3f}s")
+    assert [o.name for o in outcomes] == ["fig6", "fig9"]
+    assert all(o.jobs == jobs for o in outcomes)
+    assert all(o.text for o in outcomes)

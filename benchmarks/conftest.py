@@ -26,6 +26,19 @@ import pytest
 # REPRO_CACHE_DIR / REPRO_NO_CACHE settings win over this default.
 os.environ.setdefault("REPRO_CACHE_DIR", str(Path(__file__).parent.parent / ".cache"))
 
+
+def bench_jobs() -> int:
+    """Worker count for sweep benchmarks (REPRO_BENCH_JOBS, default 1).
+
+    Recorded in the ``BENCH_<rev>.json`` snapshot so wall times measured
+    at different parallelism are never compared as like-for-like.
+    """
+    try:
+        return max(1, int(os.environ.get("REPRO_BENCH_JOBS", "1")))
+    except ValueError:
+        return 1
+
+
 #: Wall time per benchmark (test name -> seconds), filled by run_once.
 _WALL: dict[str, float] = {}
 
@@ -71,6 +84,7 @@ def pytest_sessionfinish(session, exitstatus):
     payload = {
         "schema": "repro.bench/1",
         "git_rev": rev,
+        "jobs": bench_jobs(),
         "figures": {name: round(seconds, 4) for name, seconds in sorted(_WALL.items())},
     }
     path = Path(__file__).parent / f"BENCH_{rev}.json"

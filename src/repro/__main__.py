@@ -7,12 +7,21 @@ Usage::
     python -m repro table2
     python -m repro ablations
     python -m repro all
+    python -m repro run-all --jobs 4
+    python -m repro run-all --jobs 2 --only fig6,fig9
     python -m repro trace --steps 20 --jsonl trace.jsonl
     python -m repro audit --steps 20 --export run.json
     python -m repro audit --diff a.json b.json
     python -m repro bench-diff benchmarks/BENCH_old.json benchmarks/BENCH_new.json
     python -m repro faults --list
     python -m repro faults blackout --steps 20
+
+``run-all`` regenerates experiments through the parallel sweep runner
+(:mod:`repro.experiments.parallel`): each experiment's parameter grid is
+fanned over ``--jobs`` worker processes sharing the disk cache, and the
+grid-index-ordered merge makes the output bit-identical to ``--jobs 1``
+(and to the serial ``all`` command's per-experiment sections).  See
+``docs/performance.md``.
 
 ``trace`` is the observability workflow: it replays the quickstart
 workload with a :class:`~repro.observability.Tracer` and
@@ -52,7 +61,8 @@ from pathlib import Path
 __all__ = ["SUBCOMMANDS", "main"]
 
 #: Non-experiment subcommands (the docs-consistency test keys off this).
-SUBCOMMANDS = ("list", "all", "trace", "audit", "bench-diff", "faults")
+SUBCOMMANDS = ("list", "all", "run-all", "trace", "audit", "bench-diff",
+               "faults")
 
 
 def _fig1() -> str:
@@ -170,6 +180,53 @@ def _quickstart(mode: str, steps: int, seed: int, estimator_bias: float = 1.0):
         estimator_bias=estimator_bias,
     )
     return config, trace
+
+
+def _run_all_command(argv: list[str]) -> int:
+    """The ``repro run-all`` subcommand: the parallel sweep runner."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro run-all",
+        description="Regenerate experiments through the parallel sweep "
+        "runner: parameter grids fan out over --jobs worker processes "
+        "sharing the disk cache, and results merge in grid order so the "
+        "output is bit-identical to --jobs 1.",
+    )
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes (default: 1 = in-process)")
+    parser.add_argument("--only", default=None, metavar="IDS",
+                        help="comma-separated experiment ids to run "
+                        "(default: all; see 'list')")
+    args = parser.parse_args(argv)
+
+    from repro.errors import ExperimentError
+    from repro.experiments.parallel import run_all
+    from repro.observability import MetricsRegistry
+
+    only = None
+    if args.only is not None:
+        only = [name.strip() for name in args.only.split(",") if name.strip()]
+        if not only:
+            parser.error("--only needs at least one experiment id")
+
+    metrics = MetricsRegistry()
+    try:
+        outcomes = run_all(only, jobs=args.jobs, metrics=metrics)
+    except ExperimentError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+    for outcome in outcomes:
+        print(f"\n### {outcome.name} " + "#" * max(0, 66 - len(outcome.name)))
+        print(outcome.text)
+
+    total_points = sum(outcome.points for outcome in outcomes)
+    total_seconds = sum(outcome.seconds for outcome in outcomes)
+    print(f"\nran {len(outcomes)} experiment(s), {total_points} grid "
+          f"point(s) with jobs={args.jobs} "
+          f"(compute time {total_seconds:.2f}s)")
+    print("\n## Cache metrics " + "#" * 54)
+    print(metrics.render())
+    return 0
 
 
 def _trace_command(argv: list[str]) -> int:
@@ -405,6 +462,8 @@ def _trace_modes():
 
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "run-all":
+        return _run_all_command(argv[1:])
     if argv and argv[0] == "trace":
         return _trace_command(argv[1:])
     if argv and argv[0] == "audit":
@@ -420,8 +479,8 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        help="experiment id (see 'list'), 'all', 'list', 'trace', "
-        "'audit', 'bench-diff', or 'faults'",
+        help="experiment id (see 'list'), 'all', 'run-all', 'list', "
+        "'trace', 'audit', 'bench-diff', or 'faults'",
     )
     args = parser.parse_args(argv)
 
@@ -429,6 +488,8 @@ def main(argv: list[str] | None = None) -> int:
         width = max(len(name) for name in EXPERIMENTS)
         for name, (description, _fn) in EXPERIMENTS.items():
             print(f"{name.ljust(width)}  {description}")
+        print(f"{'run-all'.ljust(width)}  regenerate experiments via the "
+              "parallel sweep runner (see 'run-all --help')")
         print(f"{'trace'.ljust(width)}  instrumented replay: decision "
               "timeline + occupancy Gantt (see 'trace --help')")
         print(f"{'audit'.ljust(width)}  prediction-ledger replay: "

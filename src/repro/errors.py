@@ -48,3 +48,7 @@ class ObservabilityError(ReproError):
 
 class FaultError(ReproError):
     """Raised for invalid fault plans or mis-wired fault injection."""
+
+
+class ExperimentError(ReproError):
+    """Raised by the experiment sweep runner (unknown ids, bad grids)."""

@@ -43,6 +43,7 @@ __all__ = [
     "hybrid_placement_sweep",
     "monitor_interval_sweep",
     "reduction_type_sweep",
+    "render",
     "render_all",
     "staging_ratio_sweep",
 ]
@@ -350,11 +351,47 @@ def coordination_sweep() -> list[dict]:
     ]
 
 
+#: Every sweep, in report order (the sweep grid and ``render`` both
+#: follow this order).
+_SWEEP_ORDER = (
+    ("staging_ratio", staging_ratio_sweep),
+    ("monitor_interval", monitor_interval_sweep),
+    ("entropy_threshold", entropy_threshold_sweep),
+    ("coordination", coordination_sweep),
+    ("reduction_type", reduction_type_sweep),
+    ("hybrid_placement", hybrid_placement_sweep),
+    ("estimator_bias", estimator_bias_sweep),
+    ("captured_trace", captured_trace_sweep),
+)
+
+
+def grid() -> list[dict]:
+    """Sweep protocol: one point per ablation sweep."""
+    return [{"sweep": name} for name, _ in _SWEEP_ORDER]
+
+
+def run_point(params: dict) -> list[dict]:
+    """Sweep protocol: run one named ablation sweep (worker-side)."""
+    return dict(_SWEEP_ORDER)[params["sweep"]]()
+
+
+def merge(results: list) -> list[list[dict]]:
+    """Sweep protocol: grid-ordered row sets, one per sweep."""
+    return list(results)
+
+
 def render_all() -> str:
     """Run every sweep and format one combined report."""
-    sections = []
+    return render([fn() for _, fn in _SWEEP_ORDER])
 
-    rows = staging_ratio_sweep()
+
+def render(rowsets: list[list[dict]]) -> str:
+    """Format the combined report from grid-ordered sweep row sets."""
+    sections = []
+    (rows_ratio, rows_interval, rows_entropy, rows_coord, rows_reduction,
+     rows_hybrid, rows_bias, rows_captured) = rowsets
+
+    rows = rows_ratio
     sections.append(render_table(
         ["ratio", "mode", "overhead (s)", "end-to-end (s)", "moved (GiB)"],
         [[r["ratio"], r["mode"], f"{r['overhead_s']:.1f}",
@@ -362,7 +399,7 @@ def render_all() -> str:
         title="Ablation: staging ratio",
     ))
 
-    rows = monitor_interval_sweep()
+    rows = rows_interval
     sections.append(render_table(
         ["interval", "overhead (s)", "end-to-end (s)", "in-situ steps"],
         [[str(r["interval"]), f"{r['overhead_s']:.1f}",
@@ -370,7 +407,7 @@ def render_all() -> str:
         title="Ablation: monitor sampling interval",
     ))
 
-    rows = entropy_threshold_sweep()
+    rows = rows_entropy
     sections.append(render_table(
         ["threshold pct", "bits", "blocks reduced", "bytes saved", "nRMS error"],
         [[str(r["threshold_pct"]), f"{r['threshold_bits']:.2f}",
@@ -379,7 +416,7 @@ def render_all() -> str:
         title="Ablation: entropy threshold",
     ))
 
-    rows = coordination_sweep()
+    rows = rows_coord
     sections.append(render_table(
         ["scheme", "overhead (s)", "moved (GiB)", "mean staging cores"],
         [[r["scheme"], f"{r['overhead_s']:.1f}", f"{r['moved_gib']:.1f}",
@@ -387,7 +424,7 @@ def render_all() -> str:
         title="Ablation: cross-layer coordination scheme",
     ))
 
-    rows = reduction_type_sweep()
+    rows = rows_reduction
     sections.append(render_table(
         ["reduction", "downsample nRMS", "compression tol", "compression nRMS"],
         [[r["reduction"], f"{r['downsample_error']:.4f}",
@@ -396,7 +433,7 @@ def render_all() -> str:
         title="Ablation: reduction type (down-sampling vs compression)",
     ))
 
-    rows = hybrid_placement_sweep()
+    rows = rows_hybrid
     sections.append(render_table(
         ["policy", "overhead (s)", "end-to-end (s)", "moved (GiB)", "hybrid steps"],
         [[r["policy"], f"{r['overhead_s']:.1f}", f"{r['end_to_end_s']:.1f}",
@@ -404,7 +441,7 @@ def render_all() -> str:
         title="Ablation: binary vs hybrid placement",
     ))
 
-    rows = estimator_bias_sweep()
+    rows = rows_bias
     sections.append(render_table(
         ["estimate bias", "overhead (s)", "end-to-end (s)", "in-situ steps"],
         [[f"{r['bias']:g}x", f"{r['overhead_s']:.1f}",
@@ -412,7 +449,7 @@ def render_all() -> str:
         title="Ablation: estimator misestimation sensitivity",
     ))
 
-    rows = captured_trace_sweep()
+    rows = rows_captured
     sections.append(render_table(
         ["mode", "overhead (s)", "end-to-end (s)", "moved (GiB)"],
         [[r["mode"], f"{r['overhead_s']:.1f}", f"{r['end_to_end_s']:.1f}",

@@ -21,11 +21,22 @@ single output bit:
   revision, so stale artifacts from other code states can never be
   served.
 
-Set ``REPRO_NO_CACHE=1`` to bypass the cache entirely; every request
-then computes exactly as the un-cached experiments always did.  When a
+Set ``REPRO_NO_CACHE=1`` (or ``true`` / ``yes``, case-insensitive) to
+bypass the cache entirely; every request then computes exactly as the
+un-cached experiments always did.  ``""``, ``0``, ``false`` and ``no``
+keep it enabled; any other value warns once and keeps the cache on
+(bypassing is the *exceptional* state and must be asked for
+unambiguously).  When a
 :class:`~repro.observability.MetricsRegistry` is attached, lookups
 publish the ``experiments.cache_hits`` / ``experiments.cache_misses``
-counters.
+counters, failed disk stores the
+``experiments.cache_store_failures`` counter, and contended per-key
+file locks the ``experiments.cache_lock_waits`` counter.
+
+The disk layer is safe for concurrent writers: artifacts are written
+via ``os.replace`` (never torn), and the miss path holds a per-key
+advisory file lock (``<key>.lock`` under the cache dir) so N workers
+asking for the same artifact compute it once instead of stampeding.
 """
 
 from __future__ import annotations
@@ -36,8 +47,15 @@ import os
 import pickle
 import subprocess
 import tempfile
+import warnings
+from contextlib import contextmanager
 from pathlib import Path
 from typing import Any, Callable
+
+try:  # POSIX advisory locks; on platforms without fcntl the cache
+    import fcntl  # degrades to lock-free (correct, stampede-prone).
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None  # type: ignore[assignment]
 
 import numpy as np
 
@@ -50,10 +68,18 @@ __all__ = [
     "cache_enabled",
     "default_cache",
     "reset_default_cache",
+    "set_code_salt",
 ]
 
 #: Bump when a cached artifact's meaning changes (invalidates disk keys).
 CACHE_VERSION = 1
+
+#: Distinguishes "not cached" from a legitimately cached ``None`` artifact
+#: in both the in-memory dict and the disk layer.
+_MISS = object()
+
+#: One warning per process when the disk layer cannot store artifacts.
+_STORE_FAILURE_WARNED = False
 
 _CODE_SALT: str | None = None
 
@@ -81,9 +107,49 @@ def _code_salt() -> str:
     return _CODE_SALT
 
 
+def set_code_salt(salt: str) -> None:
+    """Pin the code salt instead of deriving it from ``git rev-parse``.
+
+    The parallel sweep runner resolves the salt once in the parent and
+    seeds every worker with it, so a pool of N workers does not spawn N
+    git subprocesses (and workers spawned outside the repository still
+    key artifacts consistently with their parent).
+    """
+    global _CODE_SALT
+    _CODE_SALT = str(salt)
+
+
+#: ``REPRO_NO_CACHE`` values that disable / keep the cache, after
+#: stripping and lower-casing.  Anything else warns once per value.
+_NO_CACHE_TRUE = ("1", "true", "yes")
+_NO_CACHE_FALSE = ("", "0", "false", "no")
+
+_WARNED_NO_CACHE_VALUES: set[str] = set()
+
+
 def cache_enabled() -> bool:
-    """False when ``REPRO_NO_CACHE`` asks for plain recomputation."""
-    return os.environ.get("REPRO_NO_CACHE", "") in ("", "0")
+    """False when ``REPRO_NO_CACHE`` asks for plain recomputation.
+
+    Only ``1`` / ``true`` / ``yes`` (case-insensitive, stripped)
+    disable the cache; ``""`` / ``0`` / ``false`` / ``no`` keep it
+    enabled.  Unrecognized values warn once and keep the cache enabled
+    rather than silently bypassing it.
+    """
+    raw = os.environ.get("REPRO_NO_CACHE", "")
+    value = raw.strip().lower()
+    if value in _NO_CACHE_TRUE:
+        return False
+    if value in _NO_CACHE_FALSE:
+        return True
+    if raw not in _WARNED_NO_CACHE_VALUES:
+        _WARNED_NO_CACHE_VALUES.add(raw)
+        warnings.warn(
+            f"unrecognized REPRO_NO_CACHE value {raw!r}; the cache stays "
+            "enabled (set REPRO_NO_CACHE=1 to bypass it)",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+    return True
 
 
 class _TraceSession:
@@ -205,16 +271,21 @@ class ExperimentCache:
         env = os.environ.get("REPRO_CACHE_DIR", "")
         return Path(env) if env else None
 
-    def _disk_load(self, key: str) -> Any | None:
+    def _disk_load(self, key: str) -> Any:
+        """The stored artifact, or :data:`_MISS` when absent/unreadable.
+
+        The sentinel (not ``None``) signals a miss, so a legitimately
+        cached ``None`` artifact round-trips as a hit.
+        """
         root = self._dir()
         if root is None:
-            return None
+            return _MISS
         path = root / f"{key}.pkl"
         try:
             with open(path, "rb") as fh:
                 return pickle.load(fh)
         except (OSError, pickle.PickleError, EOFError):
-            return None
+            return _MISS
 
     def _disk_store(self, key: str, value: Any) -> None:
         root = self._dir()
@@ -230,8 +301,56 @@ class ExperimentCache:
             except BaseException:
                 os.unlink(tmp)
                 raise
+        except OSError as exc:
+            # A read-only or full cache dir degrades to recomputation;
+            # say so (once) instead of silently eating every future run.
+            if self.metrics is not None:
+                self.metrics.counter("experiments.cache_store_failures").inc()
+            global _STORE_FAILURE_WARNED
+            if not _STORE_FAILURE_WARNED:
+                _STORE_FAILURE_WARNED = True
+                warnings.warn(
+                    f"experiment cache store under {root} failed ({exc}); "
+                    "artifacts will be recomputed every run until "
+                    "REPRO_CACHE_DIR is writable again",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+
+    @contextmanager
+    def _locked(self, root: Path, key: str):
+        """Per-key advisory file lock serializing concurrent computes.
+
+        Holding ``<key>.lock`` while computing and storing an artifact
+        turns a would-be cache stampede (N workers computing the same
+        artifact) into one compute plus N-1 disk hits.  A blocked
+        acquisition increments ``experiments.cache_lock_waits``.  On
+        platforms without :mod:`fcntl`, or when the lock file cannot be
+        created, the cache degrades to lock-free operation -- still
+        correct (stores are atomic), just stampede-prone.
+        """
+        if fcntl is None:
+            yield
+            return
+        try:
+            root.mkdir(parents=True, exist_ok=True)
+            handle = open(root / f"{key}.lock", "ab")
         except OSError:
-            pass  # a read-only or full cache dir degrades to a no-op
+            yield
+            return
+        try:
+            try:
+                fcntl.flock(handle, fcntl.LOCK_EX | fcntl.LOCK_NB)
+            except OSError:
+                if self.metrics is not None:
+                    self.metrics.counter("experiments.cache_lock_waits").inc()
+                fcntl.flock(handle, fcntl.LOCK_EX)
+            yield
+        finally:
+            try:
+                fcntl.flock(handle, fcntl.LOCK_UN)
+            finally:
+                handle.close()
 
     # -- entry points ------------------------------------------------------
 
@@ -240,18 +359,29 @@ class ExperimentCache:
         if not cache_enabled():
             return compute()
         key = self.key(kind, **params)
-        if key in self._values:
+        cached = self._values.get(key, _MISS)
+        if cached is not _MISS:
             self._count(hit=True)
-            return self._values[key]
+            return cached
         stored = self._disk_load(key)
-        if stored is not None:
+        if stored is not _MISS:
             self._count(hit=True)
             self._values[key] = stored
             return stored
         self._count(hit=False)
-        result = compute()
-        self._values[key] = result
-        self._disk_store(key, result)
+        root = self._dir()
+        if root is None:
+            result = self._values[key] = compute()
+            return result
+        with self._locked(root, key):
+            # A concurrent worker may have stored it while this one
+            # waited on the lock; one compute serves the whole pool.
+            stored = self._disk_load(key)
+            if stored is not _MISS:
+                self._values[key] = stored
+                return stored
+            result = self._values[key] = compute()
+            self._disk_store(key, result)
         return result
 
     def trace(
@@ -276,15 +406,32 @@ class ExperimentCache:
         if session is None:
             session = _TraceSession(build, name)
             stored = self._disk_load(skey)
-            if stored is not None:
+            if stored is not _MISS:
                 session.adopt(stored)
             self._sessions[skey] = session
         if len(session.records) >= nsteps:
             self._count(hit=True)
             return session.prefix(nsteps)
         self._count(hit=False)
-        trace = session.extend_to(nsteps)
-        self._disk_store(skey, session.prefix(len(session.records)))
+        root = self._dir()
+        if root is None:
+            return session.extend_to(nsteps)
+        with self._locked(root, skey):
+            # A concurrent worker may have stored a capture at least as
+            # long while this one waited; adopting it (when no live
+            # stepper would be discarded) skips the recompute and is
+            # bit-identical by determinism.
+            stored = self._disk_load(skey)
+            if (
+                stored is not _MISS
+                and session.stepper is None
+                and len(stored.steps) >= nsteps
+            ):
+                session.adopt(stored)
+                return session.prefix(nsteps)
+            trace = session.extend_to(nsteps)
+            if stored is _MISS or len(stored.steps) < len(session.records):
+                self._disk_store(skey, session.prefix(len(session.records)))
         return trace
 
     def field(
@@ -313,14 +460,24 @@ class ExperimentCache:
             return session.fields[nsteps].copy()
         fkey = self.key(kind, **params, nsteps=nsteps)
         stored = self._disk_load(fkey)
-        if stored is not None:
+        if stored is not _MISS:
             self._count(hit=True)
             session.fields[nsteps] = stored
             return stored.copy()
         self._count(hit=False)
-        field = session.advance_to(nsteps)
-        session.fields[nsteps] = field
-        self._disk_store(fkey, field)
+        root = self._dir()
+        if root is None:
+            field = session.advance_to(nsteps)
+            session.fields[nsteps] = field
+            return field.copy()
+        with self._locked(root, fkey):
+            stored = self._disk_load(fkey)
+            if stored is not _MISS:
+                session.fields[nsteps] = stored
+                return stored.copy()
+            field = session.advance_to(nsteps)
+            session.fields[nsteps] = field
+            self._disk_store(fkey, field)
         return field.copy()
 
 

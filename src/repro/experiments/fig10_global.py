@@ -38,14 +38,31 @@ class Fig10Row:
         return 100.0 * (1 - self.global_.overhead_seconds / self.local.overhead_seconds)
 
 
+def _row(scale: ScaleConfig) -> Fig10Row:
+    """Local and global adaptation at one scale (one sweep point)."""
+    local = run_mode_at_scale(scale, Mode.ADAPTIVE_MIDDLEWARE)
+    global_ = run_mode_at_scale(scale, Mode.GLOBAL, with_hints=True)
+    return Fig10Row(scale=scale.label, local=local, global_=global_)
+
+
 def run_fig10(scales: tuple[ScaleConfig, ...] = SCALES) -> list[Fig10Row]:
     """Run local middleware-only and global cross-layer at every scale."""
-    rows = []
-    for scale in scales:
-        local = run_mode_at_scale(scale, Mode.ADAPTIVE_MIDDLEWARE)
-        global_ = run_mode_at_scale(scale, Mode.GLOBAL, with_hints=True)
-        rows.append(Fig10Row(scale=scale.label, local=local, global_=global_))
-    return rows
+    return [_row(scale) for scale in scales]
+
+
+def grid() -> list[dict]:
+    """Sweep protocol: one point per scale (the figure's bar pairs)."""
+    return [{"scale": index} for index in range(len(SCALES))]
+
+
+def run_point(params: dict) -> Fig10Row:
+    """Sweep protocol: compute one scale's row (worker-side)."""
+    return _row(SCALES[params["scale"]])
+
+
+def merge(results: list) -> list[Fig10Row]:
+    """Sweep protocol: grid-ordered rows are ``run_fig10``'s output."""
+    return list(results)
 
 
 def render(rows: list[Fig10Row]) -> str:

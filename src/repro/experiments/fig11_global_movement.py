@@ -41,24 +41,39 @@ class Fig11Row:
         return 100.0 * (1 - self.global_bytes / self.local_bytes)
 
 
-def run_fig11(scales: tuple[ScaleConfig, ...] = SCALES) -> list[Fig11Row]:
-    """Measure movement for local and global adaptation."""
+def _row(scale: ScaleConfig) -> Fig11Row:
+    """Local and global movement at one scale (one sweep point)."""
     from repro.core.actions import Placement
 
-    rows = []
-    for scale in scales:
-        local = run_mode_at_scale(scale, Mode.ADAPTIVE_MIDDLEWARE)
-        global_ = run_mode_at_scale(scale, Mode.GLOBAL, with_hints=True)
-        rows.append(
-            Fig11Row(
-                scale=scale.label,
-                local_bytes=local.data_moved_bytes,
-                global_bytes=global_.data_moved_bytes,
-                local_intransit_steps=local.placement_counts()[Placement.IN_TRANSIT],
-                global_intransit_steps=global_.placement_counts()[Placement.IN_TRANSIT],
-            )
-        )
-    return rows
+    local = run_mode_at_scale(scale, Mode.ADAPTIVE_MIDDLEWARE)
+    global_ = run_mode_at_scale(scale, Mode.GLOBAL, with_hints=True)
+    return Fig11Row(
+        scale=scale.label,
+        local_bytes=local.data_moved_bytes,
+        global_bytes=global_.data_moved_bytes,
+        local_intransit_steps=local.placement_counts()[Placement.IN_TRANSIT],
+        global_intransit_steps=global_.placement_counts()[Placement.IN_TRANSIT],
+    )
+
+
+def run_fig11(scales: tuple[ScaleConfig, ...] = SCALES) -> list[Fig11Row]:
+    """Measure movement for local and global adaptation."""
+    return [_row(scale) for scale in scales]
+
+
+def grid() -> list[dict]:
+    """Sweep protocol: one point per scale (the figure's bar pairs)."""
+    return [{"scale": index} for index in range(len(SCALES))]
+
+
+def run_point(params: dict) -> Fig11Row:
+    """Sweep protocol: compute one scale's row (worker-side)."""
+    return _row(SCALES[params["scale"]])
+
+
+def merge(results: list) -> list[Fig11Row]:
+    """Sweep protocol: grid-ordered rows are ``run_fig11``'s output."""
+    return list(results)
 
 
 def render(rows: list[Fig11Row]) -> str:

@@ -125,6 +125,22 @@ def run_fig1(nsteps: int = 50, memory_scale: float | None = None) -> Fig1Result:
     )
 
 
+def grid() -> list[dict]:
+    """Sweep protocol: the whole figure is one deterministic point."""
+    return [{}]
+
+
+def run_point(params: dict) -> Fig1Result:
+    """Sweep protocol: compute one grid point (worker-side)."""
+    return run_fig1(**params)
+
+
+def merge(results: list) -> Fig1Result:
+    """Sweep protocol: a single-point grid merges to its only result."""
+    (result,) = results
+    return result
+
+
 def render(result: Fig1Result) -> str:
     headers = ["time step", "min", "median", "p90", "peak", "peak/median"]
     stride = max(1, len(result.steps) // 16)

@@ -76,6 +76,22 @@ def run_fig4() -> Fig4Result:
     return Fig4Result(result=result, reasons=reasons)
 
 
+def grid() -> list[dict]:
+    """Sweep protocol: the whole figure is one deterministic point."""
+    return [{}]
+
+
+def run_point(params: dict) -> Fig4Result:
+    """Sweep protocol: compute one grid point (worker-side)."""
+    return run_fig4(**params)
+
+
+def merge(results: list) -> Fig4Result:
+    """Sweep protocol: a single-point grid merges to its only result."""
+    (result,) = results
+    return result
+
+
 def render(outcome: Fig4Result) -> str:
     headers = ["ts", "placement", "policy reasoning"]
     interesting = [1, 2, 3] + list(range(28, 34))

@@ -134,6 +134,22 @@ def run_fig5(steps: int = STEPS) -> Fig5Result:
     )
 
 
+def grid() -> list[dict]:
+    """Sweep protocol: the whole figure is one deterministic point."""
+    return [{}]
+
+
+def run_point(params: dict) -> Fig5Result:
+    """Sweep protocol: compute one grid point (worker-side)."""
+    return run_fig5(**params)
+
+
+def merge(results: list) -> Fig5Result:
+    """Sweep protocol: a single-point grid merges to its only result."""
+    (result,) = results
+    return result
+
+
 def render(result: Fig5Result) -> str:
     headers = ["step", "availability", "consumption MAX res",
                "consumption MIN res", "consumption adaptive", "factor"]

@@ -141,6 +141,22 @@ def run_fig6(n: int = 48, nsteps: int = 25, metrics=None) -> Fig6Result:
     )
 
 
+def grid() -> list[dict]:
+    """Sweep protocol: the whole figure is one deterministic point."""
+    return [{}]
+
+
+def run_point(params: dict) -> Fig6Result:
+    """Sweep protocol: compute one grid point (worker-side)."""
+    return run_fig6(**params)
+
+
+def merge(results: list) -> Fig6Result:
+    """Sweep protocol: a single-point grid merges to its only result."""
+    (result,) = results
+    return result
+
+
 def render(result: Fig6Result) -> str:
     ent = result.entropies
     rows = [

@@ -46,13 +46,30 @@ class Fig7Row:
         return 100.0 * (1 - self.adaptive.overhead_seconds / base)
 
 
+def _row(scale: ScaleConfig) -> Fig7Row:
+    """All three placement modes at one scale (one sweep point)."""
+    results = {mode: run_mode_at_scale(scale, mode) for mode in _MODES}
+    return Fig7Row(scale=scale.label, results=results)
+
+
 def run_fig7(scales: tuple[ScaleConfig, ...] = SCALES) -> list[Fig7Row]:
     """Run the three placement modes at every scale."""
-    rows = []
-    for scale in scales:
-        results = {mode: run_mode_at_scale(scale, mode) for mode in _MODES}
-        rows.append(Fig7Row(scale=scale.label, results=results))
-    return rows
+    return [_row(scale) for scale in scales]
+
+
+def grid() -> list[dict]:
+    """Sweep protocol: one point per scale (the figure's bar groups)."""
+    return [{"scale": index} for index in range(len(SCALES))]
+
+
+def run_point(params: dict) -> Fig7Row:
+    """Sweep protocol: compute one scale's row (worker-side)."""
+    return _row(SCALES[params["scale"]])
+
+
+def merge(results: list) -> list[Fig7Row]:
+    """Sweep protocol: grid-ordered rows are ``run_fig7``'s output."""
+    return list(results)
 
 
 def render(rows: list[Fig7Row]) -> str:

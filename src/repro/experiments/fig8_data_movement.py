@@ -38,20 +38,35 @@ class Fig8Row:
         return 100.0 * (1 - self.adaptive_bytes / self.intransit_bytes)
 
 
+def _row(scale: ScaleConfig) -> Fig8Row:
+    """Both placements' movement at one scale (one sweep point)."""
+    static = run_mode_at_scale(scale, Mode.STATIC_INTRANSIT)
+    adaptive = run_mode_at_scale(scale, Mode.ADAPTIVE_MIDDLEWARE)
+    return Fig8Row(
+        scale=scale.label,
+        intransit_bytes=static.data_moved_bytes,
+        adaptive_bytes=adaptive.data_moved_bytes,
+    )
+
+
 def run_fig8(scales: tuple[ScaleConfig, ...] = SCALES) -> list[Fig8Row]:
     """Measure movement for static in-transit and adaptive placement."""
-    rows = []
-    for scale in scales:
-        static = run_mode_at_scale(scale, Mode.STATIC_INTRANSIT)
-        adaptive = run_mode_at_scale(scale, Mode.ADAPTIVE_MIDDLEWARE)
-        rows.append(
-            Fig8Row(
-                scale=scale.label,
-                intransit_bytes=static.data_moved_bytes,
-                adaptive_bytes=adaptive.data_moved_bytes,
-            )
-        )
-    return rows
+    return [_row(scale) for scale in scales]
+
+
+def grid() -> list[dict]:
+    """Sweep protocol: one point per scale (the figure's bar pairs)."""
+    return [{"scale": index} for index in range(len(SCALES))]
+
+
+def run_point(params: dict) -> Fig8Row:
+    """Sweep protocol: compute one scale's row (worker-side)."""
+    return _row(SCALES[params["scale"]])
+
+
+def merge(results: list) -> list[Fig8Row]:
+    """Sweep protocol: grid-ordered rows are ``run_fig8``'s output."""
+    return list(results)
 
 
 def render(rows: list[Fig8Row]) -> str:

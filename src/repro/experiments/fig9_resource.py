@@ -70,23 +70,44 @@ class Fig9Result:
         return self.adaptive.staging_cores_series()
 
 
+#: Sweep roles, in grid (and :class:`Fig9Result` field) order.
+_ROLES = {"static": Mode.STATIC_INTRANSIT, "adaptive": Mode.ADAPTIVE_RESOURCE}
+
+
+def _run_mode(mode: Mode, steps: int) -> WorkflowResult:
+    """One allocation mode on the gas workload (one sweep point)."""
+    config = WorkflowConfig(
+        mode=mode,
+        sim_cores=SIM_CORES,
+        staging_cores=STAGING_CORES,
+        spec=intrepid(),
+        analysis_cost_per_cell=_ANALYSIS_COST,
+    )
+    return run_workflow(config, polytropic_trace(steps))
+
+
 def run_fig9(steps: int = STEPS) -> Fig9Result:
     """Run static and resource-adaptive allocation on the gas workload."""
-    trace = polytropic_trace(steps)
-
-    def cfg(mode: Mode) -> WorkflowConfig:
-        return WorkflowConfig(
-            mode=mode,
-            sim_cores=SIM_CORES,
-            staging_cores=STAGING_CORES,
-            spec=intrepid(),
-            analysis_cost_per_cell=_ANALYSIS_COST,
-        )
-
     return Fig9Result(
-        static=run_workflow(cfg(Mode.STATIC_INTRANSIT), trace),
-        adaptive=run_workflow(cfg(Mode.ADAPTIVE_RESOURCE), trace),
+        static=_run_mode(Mode.STATIC_INTRANSIT, steps),
+        adaptive=_run_mode(Mode.ADAPTIVE_RESOURCE, steps),
     )
+
+
+def grid() -> list[dict]:
+    """Sweep protocol: one point per allocation mode, static first."""
+    return [{"role": role, "steps": STEPS} for role in _ROLES]
+
+
+def run_point(params: dict) -> WorkflowResult:
+    """Sweep protocol: run one allocation mode (worker-side)."""
+    return _run_mode(_ROLES[params["role"]], params.get("steps", STEPS))
+
+
+def merge(results: list) -> Fig9Result:
+    """Sweep protocol: grid order is (static, adaptive)."""
+    static, adaptive = results
+    return Fig9Result(static=static, adaptive=adaptive)
 
 
 def render(result: Fig9Result) -> str:

@@ -33,22 +33,44 @@ OBJECTIVES = (
 )
 
 
+def _run_objective(objective: Objective, scale_index: int) -> WorkflowResult:
+    """Global adaptation under one objective (one sweep point)."""
+    scale = SCALES[scale_index]
+    config = WorkflowConfig(
+        mode=Mode.GLOBAL,
+        sim_cores=scale.sim_cores,
+        staging_cores=scale.staging_cores,
+        spec=titan(),
+        analysis_cost_per_cell=ANALYSIS_COST_PER_CELL,
+        preferences=UserPreferences(objective=objective),
+        hints=default_hints(),
+    )
+    return run_workflow(config, advection_trace(scale))
+
+
 def run_objectives(scale_index: int = 1) -> dict[Objective, WorkflowResult]:
     """Run global adaptation under each objective on one scale's workload."""
-    scale = SCALES[scale_index]
-    results: dict[Objective, WorkflowResult] = {}
-    for objective in OBJECTIVES:
-        config = WorkflowConfig(
-            mode=Mode.GLOBAL,
-            sim_cores=scale.sim_cores,
-            staging_cores=scale.staging_cores,
-            spec=titan(),
-            analysis_cost_per_cell=ANALYSIS_COST_PER_CELL,
-            preferences=UserPreferences(objective=objective),
-            hints=default_hints(),
-        )
-        results[objective] = run_workflow(config, advection_trace(scale))
-    return results
+    return {
+        objective: _run_objective(objective, scale_index)
+        for objective in OBJECTIVES
+    }
+
+
+def grid() -> list[dict]:
+    """Sweep protocol: one point per user objective."""
+    return [{"objective": objective.value, "scale_index": 1}
+            for objective in OBJECTIVES]
+
+
+def run_point(params: dict) -> WorkflowResult:
+    """Sweep protocol: run one objective (worker-side)."""
+    return _run_objective(Objective(params["objective"]),
+                          params.get("scale_index", 1))
+
+
+def merge(results: list) -> dict[Objective, WorkflowResult]:
+    """Sweep protocol: grid order matches :data:`OBJECTIVES`."""
+    return dict(zip(OBJECTIVES, results))
 
 
 def render(results: dict[Objective, WorkflowResult]) -> str:

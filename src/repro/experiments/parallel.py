@@ -1,0 +1,306 @@
+"""Parallel sweep runner: fan experiment grids out over worker processes.
+
+Every figure/table of the paper is an independent sweep over
+deterministic workflow configurations, so regenerating them is
+embarrassingly parallel.  Each experiment module exposes a tiny sweep
+protocol --
+
+- ``grid()``    -- the ordered list of parameter dicts (one per point);
+- ``run_point(params)`` -- compute one point (picklable result);
+- ``merge(results)``    -- assemble grid-ordered point results into the
+  object the module's existing ``render`` accepts;
+
+-- and :func:`run_all` fans every selected experiment's points over a
+``ProcessPoolExecutor`` with ``jobs`` workers.  Results are merged
+**deterministically, ordered by grid index** (never by completion
+order), so the rendered output is bit-identical to the serial path:
+``run_all(jobs=8)`` and ``run_all(jobs=1)`` print the same bytes.
+
+Workers share the content-addressed disk cache (``REPRO_CACHE_DIR``):
+per-key advisory locks in :mod:`repro.experiments.cache` turn would-be
+stampedes into one compute plus N-1 disk hits, and the parent resolves
+the git code salt once (:func:`~repro.experiments.cache.set_code_salt`)
+instead of each worker spawning its own ``git rev-parse``.
+
+Observability: each completed point returns its worker's metrics dump;
+the parent folds them into an injected
+:class:`~repro.observability.MetricsRegistry` via
+:func:`~repro.observability.merge_worker_metrics` (counters summed in
+grid order, so aggregates are reproducible) and emits one
+``sweep.point`` trace event per point when a tracer is injected.
+
+``python -m repro run-all [--jobs N] [--only fig6,fig9]`` is the CLI
+face of this module; see ``docs/performance.md``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from importlib import import_module
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+from repro.errors import ExperimentError
+from repro.experiments import cache as cache_mod
+
+__all__ = [
+    "SWEEPS",
+    "SweepOutcome",
+    "SweepSpec",
+    "expand_grid",
+    "run_all",
+    "sweep_names",
+]
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """One experiment's sweep protocol, resolved lazily by module path.
+
+    Workers receive only ``(name, index, params)`` tasks -- strings,
+    ints and plain dicts -- and look the spec up in :data:`SWEEPS`, so
+    nothing unpicklable ever crosses the process boundary.
+    """
+
+    name: str
+    module: str
+    description: str
+
+    def _mod(self):
+        return import_module(self.module)
+
+    def grid(self) -> list[dict]:
+        """The ordered parameter grid (one dict per sweep point)."""
+        return list(self._mod().grid())
+
+    def run_point(self, params: Mapping[str, Any]) -> Any:
+        """Compute one grid point (runs in a worker process)."""
+        return self._mod().run_point(dict(params))
+
+    def merge(self, results: Sequence[Any]) -> Any:
+        """Assemble grid-ordered point results into the figure object."""
+        return self._mod().merge(list(results))
+
+    def render(self, merged: Any) -> str:
+        """The module's existing text rendering of the merged result."""
+        return self._mod().render(merged)
+
+
+#: Every experiment the ``run-all`` sweep covers, in report order
+#: (mirrors ``repro.__main__.EXPERIMENTS``).
+SWEEPS: dict[str, SweepSpec] = {
+    spec.name: spec
+    for spec in (
+        SweepSpec("fig1", "repro.experiments.fig1_memory",
+                  "peak-memory distribution, Polytropic Gas"),
+        SweepSpec("fig4", "repro.experiments.fig4_timeline",
+                  "placement decision timeline"),
+        SweepSpec("fig5", "repro.experiments.fig5_app_layer",
+                  "adaptive spatial resolution vs memory"),
+        SweepSpec("fig6", "repro.experiments.fig6_entropy",
+                  "entropy-based down-sampling fidelity"),
+        SweepSpec("fig7", "repro.experiments.fig7_placement",
+                  "end-to-end time: static vs adaptive placement"),
+        SweepSpec("fig8", "repro.experiments.fig8_data_movement",
+                  "data movement: in-transit vs adaptive"),
+        SweepSpec("fig9", "repro.experiments.fig9_resource",
+                  "adaptive staging allocation + Eq. 12"),
+        SweepSpec("fig10", "repro.experiments.fig10_global",
+                  "global cross-layer vs local adaptation"),
+        SweepSpec("fig11", "repro.experiments.fig11_global_movement",
+                  "data movement: global vs local"),
+        SweepSpec("table2", "repro.experiments.table2_utilization",
+                  "staging core usage histogram"),
+        SweepSpec("ablations", "repro.experiments.ablations",
+                  "design-choice sweeps"),
+        SweepSpec("objectives", "repro.experiments.objectives",
+                  "user-preference trade-off comparison"),
+    )
+}
+
+
+def sweep_names() -> list[str]:
+    """Every sweepable experiment id, in report order."""
+    return list(SWEEPS)
+
+
+@dataclass(frozen=True)
+class SweepOutcome:
+    """One experiment's merged sweep result.
+
+    ``seconds`` sums the per-point compute wall times (what the workers
+    spent), which can exceed the sweep's wall-clock when points ran
+    concurrently.
+    """
+
+    name: str
+    description: str
+    result: Any
+    text: str
+    points: int
+    jobs: int
+    seconds: float
+
+
+def expand_grid(
+    names: Sequence[str],
+    grids: Mapping[str, Sequence[Mapping[str, Any]]] | None = None,
+) -> list[tuple[str, int, dict]]:
+    """The flat, ordered task list ``(experiment, grid index, params)``.
+
+    ``grids`` overrides individual experiments' default grids (tests and
+    the CI smoke job use small configurations); points must follow the
+    order the experiment's ``merge`` expects.
+    """
+    tasks = []
+    for name in names:
+        spec = SWEEPS.get(name)
+        if spec is None:
+            known = ", ".join(SWEEPS)
+            raise ExperimentError(f"unknown experiment {name!r} (known: {known})")
+        points = grids.get(name) if grids is not None else None
+        if points is None:
+            points = spec.grid()
+        tasks.extend((name, index, dict(params))
+                     for index, params in enumerate(points))
+    return tasks
+
+
+def _execute_point(name: str, params: Mapping[str, Any]) -> tuple[Any, dict, float]:
+    """Run one grid point with a private metrics registry attached.
+
+    The registry is swapped onto the process-wide default cache for the
+    duration of the point, so the returned dump attributes cache traffic
+    to exactly this point (workers ship it back to the parent).
+    """
+    from repro.observability.metrics import MetricsRegistry
+
+    registry = MetricsRegistry()
+    cache = cache_mod.default_cache()
+    previous = cache.metrics
+    cache.metrics = registry
+    try:
+        started = time.perf_counter()
+        result = SWEEPS[name].run_point(params)
+        seconds = time.perf_counter() - started
+    finally:
+        cache.metrics = previous
+    return result, registry.dump(), seconds
+
+
+def _worker_init(code_salt: str, cache_dir: str | None) -> None:
+    """Seed a pool worker: pinned code salt, shared disk cache dir.
+
+    Pinning the salt means a pool of N workers runs zero git
+    subprocesses; the parent resolved it once.
+    """
+    cache_mod.set_code_salt(code_salt)
+    if cache_dir:
+        os.environ["REPRO_CACHE_DIR"] = cache_dir
+
+
+def _worker_run(task: tuple[str, int, dict]) -> tuple[str, int, Any, dict, float, int]:
+    """Pool entry point: compute one task, return it with provenance."""
+    name, index, params = task
+    result, dump, seconds = _execute_point(name, params)
+    return name, index, result, dump, seconds, os.getpid()
+
+
+def run_all(
+    only: Iterable[str] | None = None,
+    *,
+    jobs: int = 1,
+    metrics=None,
+    tracer=None,
+    grids: Mapping[str, Sequence[Mapping[str, Any]]] | None = None,
+) -> list[SweepOutcome]:
+    """Regenerate experiments, fanning grid points over ``jobs`` workers.
+
+    Parameters
+    ----------
+    only:
+        Experiment ids to run (default: every entry of :data:`SWEEPS`),
+        reported in :data:`SWEEPS` order regardless of input order.
+    jobs:
+        Worker processes.  ``1`` (the default) runs every point in this
+        process -- no pool, no pickling -- and is the reference output;
+        any higher value must produce bit-identical text.
+    metrics:
+        Optional :class:`~repro.observability.MetricsRegistry`; worker
+        dumps are folded in with
+        :func:`~repro.observability.merge_worker_metrics` in grid order.
+    tracer:
+        Optional :class:`~repro.observability.Tracer`; one
+        ``sweep.point`` event is emitted per completed point.
+    grids:
+        Per-experiment grid overrides (see :func:`expand_grid`).
+    """
+    from repro.observability.metrics import merge_worker_metrics
+
+    if jobs < 1:
+        raise ExperimentError(f"jobs must be >= 1, got {jobs}")
+    if only is None:
+        names = sweep_names()
+    else:
+        requested = set(only)
+        unknown = sorted(requested - set(SWEEPS))
+        if unknown:
+            raise ExperimentError(
+                f"unknown experiments {unknown} (known: {', '.join(SWEEPS)})"
+            )
+        names = [name for name in SWEEPS if name in requested]
+
+    tasks = expand_grid(names, grids)
+    if jobs == 1:
+        completed = [
+            (name, index, *_execute_point(name, params), os.getpid())
+            for name, index, params in tasks
+        ]
+    else:
+        cache_dir = os.environ.get("REPRO_CACHE_DIR") or None
+        with ProcessPoolExecutor(
+            max_workers=jobs,
+            initializer=_worker_init,
+            initargs=(cache_mod._code_salt(), cache_dir),
+        ) as pool:
+            # ``map`` yields in submission order, so the aggregation
+            # below is deterministic no matter which worker finishes
+            # first; chunksize=1 keeps the pool load-balanced.
+            completed = list(pool.map(_worker_run, tasks, chunksize=1))
+
+    by_experiment: dict[str, list[Any]] = {name: [] for name in names}
+    seconds: dict[str, float] = {name: 0.0 for name in names}
+    for name, index, result, dump, point_seconds, worker in completed:
+        by_experiment[name].append((index, result))
+        seconds[name] += point_seconds
+        if metrics is not None:
+            merge_worker_metrics(metrics, [dump])
+        if tracer is not None:
+            tracer.emit(
+                "sweep.point",
+                experiment=name,
+                index=index,
+                worker=worker,
+                seconds=point_seconds,
+            )
+
+    outcomes = []
+    for name in names:
+        spec = SWEEPS[name]
+        ordered = [result for _, result in sorted(by_experiment[name],
+                                                  key=lambda item: item[0])]
+        merged = spec.merge(ordered)
+        outcomes.append(
+            SweepOutcome(
+                name=name,
+                description=spec.description,
+                result=merged,
+                text=spec.render(merged),
+                points=len(ordered),
+                jobs=jobs,
+                seconds=seconds[name],
+            )
+        )
+    return outcomes

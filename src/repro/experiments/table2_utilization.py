@@ -34,19 +34,34 @@ class Table2Row:
     buckets: dict[str, int]
 
 
+def _row(scale: ScaleConfig) -> Table2Row:
+    """One scale's core-usage histogram (one sweep point)."""
+    result = run_mode_at_scale(scale, Mode.GLOBAL, with_hints=True)
+    return Table2Row(
+        case=f"{scale.label}:{scale.staging_cores}",
+        total_steps=len(result.steps),
+        buckets=core_usage_histogram(result),
+    )
+
+
 def run_table2(scales: tuple[ScaleConfig, ...] = SCALES) -> list[Table2Row]:
     """Histogram per-step staging core usage for the global runs."""
-    rows = []
-    for scale in scales:
-        result = run_mode_at_scale(scale, Mode.GLOBAL, with_hints=True)
-        rows.append(
-            Table2Row(
-                case=f"{scale.label}:{scale.staging_cores}",
-                total_steps=len(result.steps),
-                buckets=core_usage_histogram(result),
-            )
-        )
-    return rows
+    return [_row(scale) for scale in scales]
+
+
+def grid() -> list[dict]:
+    """Sweep protocol: one point per scale (the table's rows)."""
+    return [{"scale": index} for index in range(len(SCALES))]
+
+
+def run_point(params: dict) -> Table2Row:
+    """Sweep protocol: compute one scale's row (worker-side)."""
+    return _row(SCALES[params["scale"]])
+
+
+def merge(results: list) -> list[Table2Row]:
+    """Sweep protocol: grid-ordered rows are ``run_table2``'s output."""
+    return list(results)
 
 
 def render(rows: list[Table2Row]) -> str:

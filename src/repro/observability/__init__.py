@@ -68,6 +68,7 @@ from repro.observability.metrics import (
     EmaTimer,
     Gauge,
     MetricsRegistry,
+    merge_worker_metrics,
 )
 from repro.observability.timeline import (
     decision_timeline,
@@ -102,6 +103,7 @@ __all__ = [
     "fault_timeline",
     "load_bench",
     "load_snapshot",
+    "merge_worker_metrics",
     "occupancy_gantt",
     "placement_regret",
     "prometheus_text",

@@ -38,6 +38,7 @@ __all__ = [
     "STAGING_SUBMIT",
     "STEP_END",
     "STEP_START",
+    "SWEEP_POINT",
     "TraceEvent",
 ]
 
@@ -61,6 +62,7 @@ FAULT_CLEARED = "fault.cleared"
 STAGING_RETRY = "staging.retry"
 STAGING_JOB_ABORT = "staging.job_abort"
 PLACEMENT_FALLBACK = "placement.fallback"
+SWEEP_POINT = "sweep.point"
 
 #: Every kind the built-in instrumentation emits, with a one-line meaning.
 EVENT_KINDS: dict[str, str] = {
@@ -86,6 +88,8 @@ EVENT_KINDS: dict[str, str] = {
     "requeued",
     PLACEMENT_FALLBACK: "the driver degraded a staging placement to in-situ "
     "(staging unreachable)",
+    SWEEP_POINT: "the sweep runner finished one grid point (experiment, "
+    "index, worker pid, wall seconds)",
 }
 
 

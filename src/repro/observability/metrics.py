@@ -17,9 +17,18 @@ docs-consistency test keeps them in sync.
 
 from __future__ import annotations
 
+from typing import Any, Iterable, Mapping
+
 from repro.errors import ObservabilityError
 
-__all__ = ["Counter", "EmaTimer", "Gauge", "METRIC_NAMES", "MetricsRegistry"]
+__all__ = [
+    "Counter",
+    "EmaTimer",
+    "Gauge",
+    "METRIC_NAMES",
+    "MetricsRegistry",
+    "merge_worker_metrics",
+]
 
 
 #: Every metric name the built-in instrumentation publishes.
@@ -46,6 +55,10 @@ METRIC_NAMES: dict[str, str] = {
     "from memory or disk",
     "experiments.cache_misses": "counter: experiment cache lookups that "
     "had to compute",
+    "experiments.cache_store_failures": "counter: disk-cache artifact stores "
+    "that failed (read-only or full REPRO_CACHE_DIR)",
+    "experiments.cache_lock_waits": "counter: per-key cache lock acquisitions "
+    "that had to wait for a concurrent holder",
     "faults.injected": "counter: planned faults the injector applied",
     "staging.retries": "counter: staging ingest attempts retried with backoff",
     "placement.fallbacks": "counter: staging placements degraded to in-situ "
@@ -155,6 +168,30 @@ class MetricsRegistry:
         """Current value of every instrument (EMA value for timers)."""
         return {name: self._instruments[name].value for name in self.names()}
 
+    def dump(self) -> dict[str, dict[str, Any]]:
+        """A picklable snapshot of every instrument, for cross-process merge.
+
+        The parallel sweep runner ships one dump per completed grid
+        point back to the parent, which folds them in with
+        :func:`merge_worker_metrics`.
+        """
+        out: dict[str, dict[str, Any]] = {}
+        for name in self.names():
+            instrument = self._instruments[name]
+            if isinstance(instrument, Counter):
+                out[name] = {"kind": "counter", "value": instrument.value}
+            elif isinstance(instrument, Gauge):
+                out[name] = {"kind": "gauge", "value": instrument.value}
+            else:
+                out[name] = {
+                    "kind": "timer",
+                    "value": instrument.value,
+                    "count": instrument.count,
+                    "total": instrument.total,
+                    "alpha": instrument.alpha,
+                }
+        return out
+
     def render(self) -> str:
         """A small fixed-width table of every instrument's value."""
         if not self._instruments:
@@ -169,3 +206,41 @@ class MetricsRegistry:
                 text += f" (n={instrument.count}, total={instrument.total:.6g})"
             lines.append(f"{name.ljust(width)}  {text}")
         return "\n".join(lines)
+
+
+def merge_worker_metrics(
+    parent: MetricsRegistry,
+    dumps: Iterable[Mapping[str, Mapping[str, Any]]],
+) -> MetricsRegistry:
+    """Fold worker :meth:`MetricsRegistry.dump` snapshots into ``parent``.
+
+    Counters sum, gauges take the last dump's value (the dumps arrive in
+    grid order, so "last" is deterministic), and timers combine their raw
+    tallies -- ``count`` and ``total`` add exactly, while the smoothed
+    value becomes a count-weighted average of the per-worker EMAs (the
+    original observation interleaving is gone, so an exact EMA cannot be
+    reconstructed).  Returns ``parent`` for chaining.
+    """
+    for dump in dumps:
+        for name, snap in dump.items():
+            kind = snap.get("kind")
+            if kind == "counter":
+                parent.counter(name).inc(float(snap["value"]))
+            elif kind == "gauge":
+                parent.gauge(name).set(float(snap["value"]))
+            elif kind == "timer":
+                count = int(snap.get("count", 0))
+                if count <= 0:
+                    continue
+                timer = parent.timer(name, float(snap.get("alpha", 0.3)))
+                merged_count = timer.count + count
+                timer.value = (
+                    timer.count * timer.value + count * float(snap["value"])
+                ) / merged_count
+                timer.count = merged_count
+                timer.total += float(snap.get("total", 0.0))
+            else:
+                raise ObservabilityError(
+                    f"worker dump for metric {name!r} has unknown kind {kind!r}"
+                )
+    return parent

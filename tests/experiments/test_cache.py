@@ -6,6 +6,8 @@ yield exactly the output of an uncached run.  These tests exercise each
 path with small solver configurations so they stay fast.
 """
 
+import warnings
+
 import numpy as np
 import pytest
 
@@ -75,6 +77,28 @@ class TestKeying:
         monkeypatch.setenv("REPRO_NO_CACHE", "1")
         assert not cache_enabled()
 
+    @pytest.mark.parametrize("value", ["true", "yes", "TRUE", " Yes "])
+    def test_cache_disabled_by_word_values(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_NO_CACHE", value)
+        assert not cache_enabled()
+
+    @pytest.mark.parametrize("value", ["false", "no", "FALSE", " No "])
+    def test_cache_stays_enabled_for_negations(self, monkeypatch, value):
+        # Regression: REPRO_NO_CACHE=false used to *disable* the cache
+        # (any non-(""/"0") value was treated as truthy).
+        monkeypatch.setenv("REPRO_NO_CACHE", value)
+        assert cache_enabled()
+
+    def test_unrecognized_value_warns_once_and_keeps_cache(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_CACHE", "maybe")
+        monkeypatch.setattr(cache_mod, "_WARNED_NO_CACHE_VALUES", set())
+        with pytest.warns(RuntimeWarning, match="REPRO_NO_CACHE"):
+            assert cache_enabled()
+        # The second lookup with the same value must stay silent.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert cache_enabled()
+
 
 class TestValueMemo:
     def test_identity_preserving_hit(self):
@@ -104,6 +128,48 @@ class TestValueMemo:
 
     def test_advection_trace_shares_default_cache(self):
         assert advection_trace(SCALES[0]) is advection_trace(SCALES[0])
+
+    def test_cached_none_is_a_hit(self):
+        # Regression: `stored is not None` as the hit test recomputed a
+        # legitimately cached None artifact on every call.
+        registry = MetricsRegistry()
+        cache = ExperimentCache(metrics=registry)
+        calls = []
+        assert cache.value("v", {"a": 1}, lambda: calls.append(1)) is None
+        assert cache.value("v", {"a": 1}, lambda: calls.append(1)) is None
+        assert len(calls) == 1
+        assert registry.counter("experiments.cache_hits").value == 1
+
+    def test_cached_none_roundtrips_through_disk(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        writer = ExperimentCache()
+        assert writer.value("v", {"a": 1}, lambda: None) is None
+        registry = MetricsRegistry()
+        reader = ExperimentCache(metrics=registry)
+        calls = []
+        assert reader.value("v", {"a": 1}, lambda: calls.append(1)) is None
+        assert not calls
+        assert registry.counter("experiments.cache_hits").value == 1
+
+    def test_store_failure_warns_and_counts(self, tmp_path, monkeypatch):
+        # Regression: an unwritable REPRO_CACHE_DIR used to fail silently
+        # (bare `except OSError: pass`), recomputing artifacts forever.
+        # Pointing the dir at a regular file breaks mkdir() even when the
+        # suite runs as root (which ignores read-only permission bits).
+        not_a_dir = tmp_path / "cache"
+        not_a_dir.write_text("in the way")
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(not_a_dir))
+        monkeypatch.setattr(cache_mod, "_STORE_FAILURE_WARNED", False)
+        registry = MetricsRegistry()
+        cache = ExperimentCache(metrics=registry)
+        with pytest.warns(RuntimeWarning, match="cache store"):
+            assert cache.value("v", {"a": 1}, lambda: 41) == 41
+        assert registry.counter("experiments.cache_store_failures").value == 1
+        # Later failures keep counting but stay quiet.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert cache.value("v", {"a": 2}, lambda: 42) == 42
+        assert registry.counter("experiments.cache_store_failures").value == 2
 
 
 class TestTraceSessions:
@@ -193,3 +259,15 @@ class TestDefaultCache:
         base = cache.key("t", n=1)
         monkeypatch.setattr(cache_mod, "_CODE_SALT", "other-revision")
         assert cache.key("t", n=1) != base
+
+    def test_set_code_salt_pins_keys(self, monkeypatch):
+        # The sweep runner resolves the salt once in the parent and pins
+        # it in every worker -- no git subprocess per worker, and keys
+        # match the parent's exactly.
+        monkeypatch.setattr(cache_mod, "_CODE_SALT", None)
+        cache_mod.set_code_salt("pinned-rev")
+        assert cache_mod._code_salt() == "pinned-rev"
+        cache = ExperimentCache()
+        a = cache.key("t", n=1)
+        cache_mod.set_code_salt("other-rev")
+        assert cache.key("t", n=1) != a

@@ -32,3 +32,39 @@ class TestCLI:
         for name, (description, fn) in EXPERIMENTS.items():
             assert description
             assert callable(fn)
+
+
+class TestRunAllCLI:
+    @pytest.fixture(autouse=True)
+    def isolated_cache(self, tmp_path, monkeypatch):
+        from repro.experiments.cache import reset_default_cache
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
+        reset_default_cache()
+        yield
+        reset_default_cache()
+
+    def test_run_all_only_fig4(self, capsys):
+        assert main(["run-all", "--only", "fig4"]) == 0
+        out = capsys.readouterr().out
+        assert "### fig4" in out
+        assert "jobs=1" in out
+        assert "Cache metrics" in out
+
+    def test_run_all_with_workers(self, capsys):
+        assert main(["run-all", "--jobs", "2", "--only", "fig4"]) == 0
+        out = capsys.readouterr().out
+        assert "### fig4" in out
+        assert "jobs=2" in out
+
+    def test_run_all_unknown_experiment_fails(self, capsys):
+        assert main(["run-all", "--only", "fig99"]) == 2
+        assert "fig99" in capsys.readouterr().err
+
+    def test_run_all_listed_as_subcommand(self, capsys):
+        from repro.__main__ import SUBCOMMANDS
+
+        assert "run-all" in SUBCOMMANDS
+        assert main(["list"]) == 0
+        assert "run-all" in capsys.readouterr().out

@@ -105,6 +105,38 @@ class TestPerformanceDocs:
         assert "repro bench-diff" in performance_doc
         assert "BENCH_" in performance_doc
 
+    def test_no_cache_semantics_documented(self, performance_doc):
+        # The strict REPRO_NO_CACHE parse must be documented: the
+        # disabling words and the fact that unrecognized values warn.
+        for token in ("true", "yes", "false", "no"):
+            assert token in performance_doc, (
+                f"REPRO_NO_CACHE value {token!r} missing from "
+                "docs/performance.md"
+            )
+        assert "warns once" in performance_doc
+
+    def test_run_all_sweep_documented(self, performance_doc):
+        assert "repro run-all" in performance_doc
+        assert "--jobs" in performance_doc
+        assert "--only" in performance_doc
+        assert "REPRO_BENCH_JOBS" in performance_doc
+        assert "parallel-smoke" in performance_doc
+
+    def test_cache_locking_documented(self, performance_doc):
+        assert "experiments.cache_lock_waits" in performance_doc
+        assert "experiments.cache_store_failures" in performance_doc
+        assert "os.replace" in performance_doc
+        assert "set_code_salt" in performance_doc
+
+    def test_parallel_public_api_documented(self):
+        import repro.experiments.parallel as parallel
+
+        api_doc = (REPO / "docs" / "api.md").read_text()
+        performance_doc = PERFORMANCE_DOC.read_text()
+        missing = [name for name in parallel.__all__
+                   if name not in api_doc and name not in performance_doc]
+        assert not missing, f"parallel symbols missing from docs: {missing}"
+
     def test_linked_from_architecture(self):
         text = (REPO / "docs" / "architecture.md").read_text()
         assert "performance.md" in text
