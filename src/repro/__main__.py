@@ -15,6 +15,8 @@ Usage::
     python -m repro bench-diff benchmarks/BENCH_old.json benchmarks/BENCH_new.json
     python -m repro faults --list
     python -m repro faults blackout --steps 20
+    python -m repro triggers --list
+    python -m repro triggers --steps 20 --scenario blackout
 
 ``run-all`` regenerates experiments through the parallel sweep runner
 (:mod:`repro.experiments.parallel`): each experiment's parameter grid is
@@ -49,6 +51,12 @@ the scenario's fault timings), then replays it with the seeded
 :class:`~repro.faults.FaultPlan` injected, and prints the
 time-to-solution and data-movement deltas plus the fault/recovery
 timeline.  See ``docs/faults.md``.
+
+``triggers`` compares every registered trigger-detection policy
+(:data:`repro.workflow.triggers.TRIGGER_POLICIES`) on one workload --
+fault-free or under a named fault scenario -- and prints the
+monitoring-overhead vs adaptation-lag table (the interactive face of
+the ``fig_triggers`` sweep).  See ``docs/triggers.md``.
 """
 
 from __future__ import annotations
@@ -62,7 +70,7 @@ __all__ = ["SUBCOMMANDS", "main"]
 
 #: Non-experiment subcommands (the docs-consistency test keys off this).
 SUBCOMMANDS = ("list", "all", "run-all", "trace", "audit", "bench-diff",
-               "faults")
+               "faults", "triggers")
 
 
 def _fig1() -> str:
@@ -137,6 +145,12 @@ def _objectives() -> str:
     return objectives.render(objectives.run_objectives())
 
 
+def _fig_triggers() -> str:
+    from repro.experiments import fig_triggers
+
+    return fig_triggers.render(fig_triggers.run_fig_triggers())
+
+
 EXPERIMENTS: dict[str, tuple[str, Callable[[], str]]] = {
     "fig1": ("peak-memory distribution, Polytropic Gas", _fig1),
     "fig4": ("placement decision timeline", _fig4),
@@ -150,6 +164,8 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[], str]]] = {
     "table2": ("staging core usage histogram", _table2),
     "ablations": ("design-choice sweeps", _ablations),
     "objectives": ("user-preference trade-off comparison", _objectives),
+    "fig_triggers": ("monitoring overhead vs adaptation lag across "
+                     "trigger policies", _fig_triggers),
 }
 
 
@@ -454,6 +470,52 @@ def _faults_command(argv: list[str]) -> int:
     return 0
 
 
+def _triggers_command(argv: list[str]) -> int:
+    """The ``repro triggers`` subcommand: one-scenario policy comparison."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro triggers",
+        description="Compare every registered trigger-detection policy "
+        "(fixed-interval baseline, entropy-percentile sampling, imbalance, "
+        "staging pressure) on the trigger-sweep workload and print the "
+        "monitoring-overhead vs adaptation-lag table.",
+    )
+    parser.add_argument("--list", action="store_true", dest="list_policies",
+                        help="list the registered trigger policies and exit")
+    parser.add_argument("--steps", type=int, default=20,
+                        help="workload length in steps (default: 20)")
+    parser.add_argument("--scenario", default="none",
+                        help="fault scenario to inject, or 'none' "
+                        "(default: none; see 'faults --list')")
+    args = parser.parse_args(argv)
+
+    from repro.workflow.triggers import TRIGGER_POLICIES
+
+    if args.list_policies:
+        width = max(len(name) for name in TRIGGER_POLICIES)
+        for name, (description, _factory) in TRIGGER_POLICIES.items():
+            print(f"{name.ljust(width)}  {description}")
+        return 0
+
+    from repro.experiments import fig_triggers
+
+    if args.scenario != "none":
+        from repro.faults import SCENARIOS
+
+        if args.scenario not in SCENARIOS:
+            known = ", ".join(sorted(SCENARIOS))
+            parser.error(f"unknown scenario {args.scenario!r} "
+                         f"(known: {known}, or 'none')")
+
+    rows = [
+        fig_triggers.run_point(
+            {"policy": policy, "scenario": args.scenario, "steps": args.steps}
+        )
+        for policy in fig_triggers.POLICY_NAMES
+    ]
+    print(fig_triggers.render(fig_triggers.merge(rows)))
+    return 0
+
+
 def _trace_modes():
     from repro.workflow import Mode
 
@@ -472,6 +534,8 @@ def main(argv: list[str] | None = None) -> int:
         return _bench_diff_command(argv[1:])
     if argv and argv[0] == "faults":
         return _faults_command(argv[1:])
+    if argv and argv[0] == "triggers":
+        return _triggers_command(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -480,7 +544,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "experiment",
         help="experiment id (see 'list'), 'all', 'run-all', 'list', "
-        "'trace', 'audit', 'bench-diff', or 'faults'",
+        "'trace', 'audit', 'bench-diff', 'faults', or 'triggers'",
     )
     args = parser.parse_args(argv)
 
@@ -499,6 +563,9 @@ def main(argv: list[str] | None = None) -> int:
         print(f"{'faults'.ljust(width)}  fault-scenario replay: "
               "time-to-solution delta + recovery timeline "
               "(see 'faults --help')")
+        print(f"{'triggers'.ljust(width)}  trigger-policy comparison: "
+              "monitoring overhead vs adaptation lag "
+              "(see 'triggers --help')")
         return 0
 
     if args.experiment == "all":

@@ -78,6 +78,11 @@ class AdaptationEngine:
         resource layer's staging-core choice and the middleware layer's
         implied staging-memory demand as predictions the host later
         resolves against realized values.
+    trigger:
+        Optional :class:`~repro.workflow.triggers.TriggerPolicy`; when
+        injected, every committed decision is reported back via
+        ``note_adapted`` so change-detecting policies can reset their
+        references to the state they just adapted to.
     """
 
     def __init__(
@@ -89,6 +94,7 @@ class AdaptationEngine:
         tracer: Tracer | None = None,
         metrics: MetricsRegistry | None = None,
         ledger: PredictionLedger | None = None,
+        trigger=None,
     ):
         self.preferences = preferences or UserPreferences()
         self.hints = hints or UserHints()
@@ -114,6 +120,7 @@ class AdaptationEngine:
         self.tracer = tracer
         self.metrics = metrics
         self.ledger = ledger
+        self.trigger = trigger
         self.decisions: list[AdaptationDecision] = []
 
     def adapt(self, state: OperationalState) -> AdaptationDecision:
@@ -165,6 +172,8 @@ class AdaptationEngine:
             else:  # pragma: no cover - enum is closed
                 raise PolicyError(f"unknown layer {layer}")
         self.decisions.append(decision)
+        if self.trigger is not None:
+            self.trigger.note_adapted(state.step, decision)
         if self.ledger is not None:
             if decision.staging_cores is not None:
                 self.ledger.predict(

@@ -15,10 +15,17 @@ current operational state of the system and application."  Concretely it
 
 from __future__ import annotations
 
+import math
+
 from repro.core.estimators import RateEstimator, TransferEstimator
 from repro.core.state import OperationalState
 from repro.errors import PolicyError
-from repro.observability.events import MONITOR_SAMPLE
+from repro.observability.events import (
+    MONITOR_SAMPLE,
+    TRIGGER_FIRED,
+    TRIGGER_RECALIBRATED,
+    TRIGGER_SUPPRESSED,
+)
 from repro.observability.ledger import PredictionLedger
 from repro.observability.metrics import MetricsRegistry
 from repro.observability.tracer import Tracer
@@ -35,6 +42,16 @@ class Monitor:
     next-step-time forecast lands in the prediction ledger to be paired
     with the step duration actually observed; when left ``None`` (the
     default) instrumentation costs one ``is not None`` test.
+
+    ``trigger`` is an optional
+    :class:`~repro.workflow.triggers.TriggerPolicy`: when injected, the
+    host asks :meth:`evaluate_trigger` instead of the fixed
+    :meth:`should_sample` cadence, trigger verdicts surface as
+    ``trigger.fired``/``trigger.suppressed`` events, and
+    :meth:`recalibrate_trigger` closes the self-calibration loop
+    (threshold + estimator-bias adjustment from ledger feedback,
+    emitted as ``trigger.recalibrated``).  Left ``None``, sampling is
+    bit-identical to a build without the trigger subsystem.
     """
 
     def __init__(
@@ -48,6 +65,7 @@ class Monitor:
         tracer: Tracer | None = None,
         metrics: MetricsRegistry | None = None,
         ledger: PredictionLedger | None = None,
+        trigger=None,
     ):
         if interval < 1:
             raise PolicyError(f"interval must be >= 1, got {interval}")
@@ -67,15 +85,104 @@ class Monitor:
         self.tracer = tracer
         self.metrics = metrics
         self.ledger = ledger
+        self.trigger = trigger
         # Step whose next-sim-time forecast is awaiting its realization.
         self._sim_pred_step: int | None = None
+        # Most recent off-interval sample the host forced (fault recovery);
+        # the fixed cadence restarts from it rather than double-sampling.
+        self._forced_at: int | None = None
         self.history: list[OperationalState] = []
 
     # -- sampling cadence -----------------------------------------------------
 
     def should_sample(self, step: int) -> bool:
         """True when the adaptation engine should run at ``step``."""
-        return step % self.interval == 0
+        if step % self.interval != 0:
+            return False
+        if self._forced_at is not None and step - self._forced_at < self.interval:
+            # A forced off-interval sample (post-restore re-sizing) already
+            # refreshed the state inside this window; re-sampling on the
+            # very next modulo hit would double-pay the snapshot.
+            return False
+        return True
+
+    def note_forced_sample(self, step: int) -> None:
+        """The host sampled off-interval (fault recovery); restart the
+        cadence from ``step`` so the next modulo hit is not a duplicate."""
+        self._forced_at = int(step)
+
+    def evaluate_trigger(self, indicators):
+        """Ask the injected trigger whether ``indicators`` warrant a full
+        adaptation; publishes the verdict as events and metrics."""
+        decision = self.trigger.should_adapt(indicators)
+        if self.metrics is not None:
+            if decision.budget_spent:
+                self.metrics.counter("monitor.sampling_budget_used").inc(
+                    decision.budget_spent
+                )
+            if decision.fire:
+                self.metrics.counter("monitor.trigger_fires").inc()
+        if self.tracer is not None and self.tracer.enabled:
+            self.tracer.emit(
+                TRIGGER_FIRED if decision.fire else TRIGGER_SUPPRESSED,
+                step=indicators.step,
+                policy=decision.policy,
+                reason=decision.reason,
+                value=decision.value,
+                budget_spent=decision.budget_spent,
+            )
+        return decision
+
+    def recalibrate_trigger(self, feedback) -> dict[str, tuple[float, float]]:
+        """Close the self-calibration loop at ``feedback.step``.
+
+        Feeds measured estimator bias/regret back into the trigger's
+        thresholds (:meth:`TriggerPolicy.recalibrate`) and this
+        Monitor's systematic ``estimate_bias`` correction; applied
+        changes are returned and emitted as one ``trigger.recalibrated``
+        event.  No-op (empty dict) when nothing needed adjusting.
+        """
+        changes: dict[str, tuple[float, float]] = {}
+        if self.trigger is not None:
+            changes.update(self.trigger.recalibrate(feedback) or {})
+        adjusted = self._recalibrate_estimate_bias(feedback)
+        if adjusted is not None:
+            changes["estimate_bias"] = adjusted
+        if not changes:
+            return {}
+        if self.tracer is not None and self.tracer.enabled:
+            fields = {}
+            for key, (old, new) in sorted(changes.items()):
+                fields[f"{key}_old"] = old
+                fields[f"{key}_new"] = new
+            self.tracer.emit(
+                TRIGGER_RECALIBRATED,
+                step=feedback.step,
+                policy=getattr(self.trigger, "name", None),
+                flip_fraction=feedback.flip_fraction,
+                regret_seconds=feedback.regret_seconds,
+                **fields,
+            )
+        return changes
+
+    def _recalibrate_estimate_bias(self, feedback) -> tuple[float, float] | None:
+        """Walk ``estimate_bias`` toward cancelling the measured bias.
+
+        A positive ledger bias means the analysis-time estimators
+        over-predict; half a multiplicative step toward the exact
+        correction keeps the loop stable against noisy early feedback.
+        """
+        bias_pct = feedback.estimator_bias_pct("insitu_time", "intransit_time")
+        if abs(bias_pct) < 2.0:
+            return None
+        fraction = min(9.0, max(-0.9, bias_pct / 100.0))
+        correction = 1.0 / (1.0 + fraction)
+        old = self.estimate_bias
+        new = min(4.0, max(0.25, old * math.sqrt(correction)))
+        if new == old:
+            return None
+        self.estimate_bias = new
+        return (old, new)
 
     # -- observations ----------------------------------------------------------
 
@@ -204,6 +311,8 @@ class Monitor:
                 self._sim_pred_step = step
         if self.metrics is not None:
             self.metrics.counter("monitor.samples").inc()
+            if self.trigger is not None:
+                self.metrics.counter("monitor.samples_taken").inc()
         if self.tracer is not None and self.tracer.enabled:
             self.tracer.emit(
                 MONITOR_SAMPLE,

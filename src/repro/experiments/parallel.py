@@ -117,6 +117,9 @@ SWEEPS: dict[str, SweepSpec] = {
                   "design-choice sweeps"),
         SweepSpec("objectives", "repro.experiments.objectives",
                   "user-preference trade-off comparison"),
+        SweepSpec("fig_triggers", "repro.experiments.fig_triggers",
+                  "monitoring overhead vs adaptation lag across trigger "
+                  "policies"),
     )
 }
 

@@ -39,6 +39,9 @@ __all__ = [
     "STEP_END",
     "STEP_START",
     "SWEEP_POINT",
+    "TRIGGER_FIRED",
+    "TRIGGER_RECALIBRATED",
+    "TRIGGER_SUPPRESSED",
     "TraceEvent",
 ]
 
@@ -63,6 +66,9 @@ STAGING_RETRY = "staging.retry"
 STAGING_JOB_ABORT = "staging.job_abort"
 PLACEMENT_FALLBACK = "placement.fallback"
 SWEEP_POINT = "sweep.point"
+TRIGGER_FIRED = "trigger.fired"
+TRIGGER_SUPPRESSED = "trigger.suppressed"
+TRIGGER_RECALIBRATED = "trigger.recalibrated"
 
 #: Every kind the built-in instrumentation emits, with a one-line meaning.
 EVENT_KINDS: dict[str, str] = {
@@ -90,6 +96,12 @@ EVENT_KINDS: dict[str, str] = {
     "(staging unreachable)",
     SWEEP_POINT: "the sweep runner finished one grid point (experiment, "
     "index, worker pid, wall seconds)",
+    TRIGGER_FIRED: "a trigger policy requested a full adaptation (policy, "
+    "reason, indicator value, sampling budget spent)",
+    TRIGGER_SUPPRESSED: "a trigger policy held the previous adaptation "
+    "(policy, reason, indicator value, sampling budget spent)",
+    TRIGGER_RECALIBRATED: "the self-calibration loop adjusted trigger "
+    "thresholds or the estimator bias from measured ledger feedback",
 }
 
 

@@ -63,6 +63,12 @@ METRIC_NAMES: dict[str, str] = {
     "staging.retries": "counter: staging ingest attempts retried with backoff",
     "placement.fallbacks": "counter: staging placements degraded to in-situ "
     "because staging was unreachable",
+    "monitor.trigger_fires": "counter: trigger evaluations that requested "
+    "a full adaptation",
+    "monitor.samples_taken": "counter: full OperationalState snapshots "
+    "assembled on a trigger-driven run",
+    "monitor.sampling_budget_used": "counter: per-rank indicator probes "
+    "spent by trigger policies (the percentile-sampling budget)",
 }
 
 

@@ -450,6 +450,11 @@ class StagingArea:
         """True while a job is running or queued (Fig. 4's 'busy' state)."""
         return self._running is not None or len(self._queue) > 0 or self._queued_work > 0
 
+    @property
+    def queue_depth(self) -> int:
+        """Jobs waiting behind the one in service (a pressure indicator)."""
+        return len(self._queue)
+
     def estimated_remaining_time(self) -> float:
         """``T_intransit_remaining``: time to drain running + queued work."""
         remaining = 0.0

@@ -15,16 +15,40 @@ from repro.workflow.config import Mode, WorkflowConfig
 from repro.workflow.driver import CoupledWorkflow, run_workflow
 from repro.workflow.metrics import StepMetrics, WorkflowResult, core_usage_histogram
 from repro.workflow.report import compare, result_from_json, result_to_json
+from repro.workflow.triggers import (
+    TRIGGER_POLICIES,
+    CalibrationFeedback,
+    EntropyPercentile,
+    FixedInterval,
+    Imbalance,
+    StagingPressure,
+    TriggerDecision,
+    TriggerIndicators,
+    TriggerPolicy,
+    build_trigger,
+    percentile_sample_size,
+)
 
 __all__ = [
+    "CalibrationFeedback",
     "CoupledWorkflow",
+    "EntropyPercentile",
+    "FixedInterval",
+    "Imbalance",
     "Mode",
+    "StagingPressure",
     "StepMetrics",
+    "TRIGGER_POLICIES",
+    "TriggerDecision",
+    "TriggerIndicators",
+    "TriggerPolicy",
     "WorkflowBuilder",
     "WorkflowConfig",
     "WorkflowResult",
+    "build_trigger",
     "compare",
     "core_usage_histogram",
+    "percentile_sample_size",
     "result_from_json",
     "result_to_json",
     "run_workflow",

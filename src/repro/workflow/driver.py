@@ -42,6 +42,11 @@ from repro.observability.tracer import Tracer
 from repro.staging.area import AnalysisJob, StagingArea
 from repro.workflow.config import Mode, WorkflowConfig
 from repro.workflow.metrics import StepMetrics, WorkflowResult
+from repro.workflow.triggers import (
+    CalibrationFeedback,
+    TriggerIndicators,
+    TriggerPolicy,
+)
 from repro.workload.trace import WorkloadTrace
 
 __all__ = ["CoupledWorkflow", "run_workflow"]
@@ -68,6 +73,15 @@ class CoupledWorkflow:
     staging placements to in-situ while staging is unreachable
     (``placement.fallback``) and re-runs the adaptation plan when the
     healthy core count changes, even off the sampling interval.
+
+    ``trigger`` accepts a :class:`~repro.workflow.triggers.TriggerPolicy`;
+    when injected, the Monitor's fixed sampling interval is replaced by
+    the policy's verdict on each step's cheap streaming indicators
+    (per-rank output volumes, skew, staging occupancy/queue depth), and
+    -- when a ledger is also injected -- measured estimator bias/regret
+    is fed back into the trigger's thresholds and the Monitor's
+    estimate bias on the policy's ``recalibrate_every`` cadence.  Left
+    ``None``, sampling is bit-identical to a build without triggers.
     """
 
     def __init__(
@@ -78,11 +92,13 @@ class CoupledWorkflow:
         metrics: MetricsRegistry | None = None,
         ledger: PredictionLedger | None = None,
         faults: FaultPlan | FaultInjector | None = None,
+        trigger: TriggerPolicy | None = None,
     ):
         if not len(trace):
             raise WorkflowError("trace has no steps")
         self.config = config
         self.trace = trace
+        self.trigger = trigger
         if isinstance(faults, FaultPlan):
             faults = FaultInjector(faults, tracer=tracer, metrics=metrics)
         self.faults = faults
@@ -132,6 +148,7 @@ class CoupledWorkflow:
             tracer=tracer,
             metrics=metrics,
             ledger=ledger,
+            trigger=trigger,
         )
         layers = config.mode.adaptive_layers
         if layers is None:
@@ -142,6 +159,7 @@ class CoupledWorkflow:
                 tracer=tracer,
                 metrics=metrics,
                 ledger=ledger,
+                trigger=trigger,
             )
         elif layers:
             self.engine = AdaptationEngine(
@@ -152,6 +170,7 @@ class CoupledWorkflow:
                 tracer=tracer,
                 metrics=metrics,
                 ledger=ledger,
+                trigger=trigger,
             )
         else:
             self.engine = None
@@ -270,6 +289,21 @@ class CoupledWorkflow:
                 rank_available >= rank_out_bytes * cfg.insitu_memory_factor
             )
 
+            indicators = None
+            if self.trigger is not None:
+                indicators = TriggerIndicators(
+                    step=record.step,
+                    sim_seconds=sim_seconds,
+                    data_bytes=record.data_bytes,
+                    rank_bytes=record.rank_bytes,
+                    imbalance=record.imbalance,
+                    staging_occupancy=(
+                        self.staging.memory_used / self.staging.memory_total
+                        if self.staging.memory_total > 0
+                        else 0.0
+                    ),
+                    staging_queue_depth=self.staging.queue_depth,
+                )
             decision = self._decide(
                 record.step,
                 record.data_bytes,
@@ -279,6 +313,7 @@ class CoupledWorkflow:
                 insitu_ok,
                 last_decision,
                 steps_remaining=total_steps - (index + 1),
+                indicators=indicators,
             )
             last_decision = decision
 
@@ -439,6 +474,18 @@ class CoupledWorkflow:
                     insitu_seconds=metric.insitu_seconds,
                     block_seconds=metric.block_seconds,
                 )
+            if (
+                self.trigger is not None
+                and self.ledger is not None
+                and self.trigger.recalibrate_every
+                and record.step % self.trigger.recalibrate_every == 0
+            ):
+                # Self-calibration: feed the ledger's measured estimator
+                # bias and placement regret back into the trigger's
+                # thresholds and the Monitor's estimate bias.
+                self.monitor.recalibrate_trigger(
+                    CalibrationFeedback.from_ledger(self.ledger, record.step)
+                )
 
         # Drain: the run ends when the staging pipeline is empty too (Eq. 6).
         sim_pipeline_end = self.sim.now
@@ -471,6 +518,7 @@ class CoupledWorkflow:
         insitu_ok: bool,
         last: AdaptationDecision | None,
         steps_remaining: int,
+        indicators: TriggerIndicators | None = None,
     ) -> AdaptationDecision:
         mode = self.config.mode
         if mode is Mode.POST_PROCESSING:
@@ -481,11 +529,11 @@ class CoupledWorkflow:
             return AdaptationDecision(step=step, placement=Placement.IN_TRANSIT)
         assert self.engine is not None
         healthy = self.staging.healthy_cores
-        if (
-            not self.monitor.should_sample(step)
-            and last is not None
-            and healthy == self._last_healthy
-        ):
+        if self.trigger is not None:
+            due = self.monitor.evaluate_trigger(indicators).fire
+        else:
+            due = self.monitor.should_sample(step)
+        if not due and last is not None and healthy == self._last_healthy:
             # Off-sample steps keep the previous adaptation settings --
             # unless a fault changed the healthy core count, which forces
             # the plan (Eqs. 9-10 sizing included) to re-run immediately.
@@ -496,6 +544,11 @@ class CoupledWorkflow:
                 insitu_fraction=last.insitu_fraction,
                 staging_cores=last.staging_cores,
             )
+        if not due and healthy != self._last_healthy:
+            # Forced off-interval re-sample (post-restore re-sizing):
+            # restart the fixed cadence here instead of re-sampling again
+            # on the next modulo hit.
+            self.monitor.note_forced_sample(step)
         self._last_healthy = healthy
         state = self.monitor.snapshot(
             step=step,
@@ -618,9 +671,10 @@ def run_workflow(
     metrics: MetricsRegistry | None = None,
     ledger: PredictionLedger | None = None,
     faults: FaultPlan | FaultInjector | None = None,
+    trigger: TriggerPolicy | None = None,
 ) -> WorkflowResult:
     """Convenience: build and run a workflow in one call."""
     return CoupledWorkflow(
         config, trace, tracer=tracer, metrics=metrics, ledger=ledger,
-        faults=faults,
+        faults=faults, trigger=trigger,
     ).run()

@@ -1,0 +1,60 @@
+"""Tests for the trigger-policy sweep (fig_triggers)."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import fig_triggers
+from repro.workflow.triggers import TRIGGER_POLICIES
+
+
+class TestGrid:
+    def test_grid_is_scenario_major_policy_minor(self):
+        grid = fig_triggers.grid()
+        assert len(grid) == len(fig_triggers.SCENARIO_NAMES) * len(TRIGGER_POLICIES)
+        assert grid[0] == {
+            "policy": "fixed-interval", "scenario": "none",
+            "steps": fig_triggers.STEPS,
+        }
+        assert [p["scenario"] for p in grid[: len(TRIGGER_POLICIES)]] == (
+            ["none"] * len(TRIGGER_POLICIES)
+        )
+
+    def test_every_registered_policy_swept(self):
+        assert set(fig_triggers.POLICY_NAMES) == set(TRIGGER_POLICIES)
+
+
+class TestRunPoint:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return {
+            policy: fig_triggers.run_point(
+                {"policy": policy, "scenario": "none", "steps": 6})
+            for policy in ("fixed-interval", "entropy-percentile")
+        }
+
+    def test_fixed_interval_samples_every_step(self, rows):
+        row = rows["fixed-interval"]
+        assert row.snapshots == row.fires == 6
+        assert row.budget_used == 0
+        assert row.monitor_cost == 6 * fig_triggers.SIM_CORES
+        assert row.mean_lag_steps == 0.0
+
+    def test_entropy_percentile_spends_bounded_budget(self, rows):
+        row = rows["entropy-percentile"]
+        assert row.snapshots <= 6
+        assert 0 < row.budget_used <= 6 * 82  # s(eps=0.15, delta=0.05)
+        assert row.monitor_cost < rows["fixed-interval"].monitor_cost
+        assert row.end_to_end_seconds > 0
+
+    def test_merge_orders_rows_and_lookup(self, rows):
+        result = fig_triggers.merge(list(rows.values()))
+        assert result.rows == tuple(rows.values())
+        assert result.row("fixed-interval", "none") is rows["fixed-interval"]
+        with pytest.raises(ExperimentError):
+            result.row("fixed-interval", "blackout")
+
+    def test_render_has_one_block_per_scenario(self, rows):
+        text = fig_triggers.render(fig_triggers.merge(list(rows.values())))
+        assert "scenario=none" in text
+        assert "entropy-percentile" in text
+        assert "+0.0%" in text  # the baseline row's relative column

@@ -25,7 +25,8 @@ class TestCLI:
     def test_registry_complete(self):
         # Every evaluated figure/table of the paper has a CLI entry.
         expected = {"fig1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
-                    "fig10", "fig11", "table2", "ablations", "objectives"}
+                    "fig10", "fig11", "table2", "ablations", "objectives",
+                    "fig_triggers"}
         assert expected == set(EXPERIMENTS)
 
     def test_descriptions_nonempty(self):

@@ -24,11 +24,13 @@ from repro.observability import (
     QUANTITIES,
     SNAPSHOT_SCHEMA,
 )
+from repro.workflow.triggers import TRIGGER_POLICIES
 
 REPO = Path(__file__).resolve().parent.parent
 OBSERVABILITY_DOC = REPO / "docs" / "observability.md"
 PERFORMANCE_DOC = REPO / "docs" / "performance.md"
 FAULTS_DOC = REPO / "docs" / "faults.md"
+TRIGGERS_DOC = REPO / "docs" / "triggers.md"
 
 
 @pytest.fixture(scope="module")
@@ -180,6 +182,64 @@ class TestFaultDocs:
         text = PERFORMANCE_DOC.read_text()
         assert "cache_token" in text
         assert "FaultPlan" in text
+
+
+class TestTriggerDocs:
+    @pytest.fixture(scope="class")
+    def triggers_doc(self) -> str:
+        assert TRIGGERS_DOC.exists(), "docs/triggers.md is missing"
+        return TRIGGERS_DOC.read_text()
+
+    def test_every_policy_documented(self, triggers_doc):
+        missing = [name for name in TRIGGER_POLICIES
+                   if f"`{name}`" not in triggers_doc]
+        assert not missing, f"undocumented trigger policies: {missing}"
+
+    def test_every_registered_policy_has_description(self):
+        empty = [name for name, (description, _factory)
+                 in TRIGGER_POLICIES.items() if not description.strip()]
+        assert not empty, f"trigger policies without a description: {empty}"
+
+    def test_every_public_symbol_documented(self, triggers_doc):
+        public = [
+            "TriggerPolicy", "TriggerIndicators", "TriggerDecision",
+            "CalibrationFeedback", "FixedInterval", "EntropyPercentile",
+            "Imbalance", "StagingPressure", "TRIGGER_POLICIES",
+            "build_trigger", "percentile_sample_size",
+        ]
+        import repro.workflow as workflow
+
+        unexported = [name for name in public
+                      if name not in workflow.__all__]
+        assert not unexported, f"trigger symbols not exported: {unexported}"
+        missing = [name for name in public if name not in triggers_doc]
+        assert not missing, f"undocumented trigger symbols: {missing}"
+
+    def test_trigger_event_kinds_and_metrics_documented(
+            self, observability_doc):
+        for name in ("trigger.fired", "trigger.suppressed",
+                     "trigger.recalibrated", "monitor.trigger_fires",
+                     "monitor.samples_taken",
+                     "monitor.sampling_budget_used"):
+            assert f"`{name}`" in observability_doc, (
+                f"{name} missing from docs/observability.md"
+            )
+
+    def test_sampling_budget_math_documented(self, triggers_doc):
+        # The bounded-budget worked example: both canonical sample sizes
+        # and the Hoeffding formula itself must appear.
+        assert "percentile_sample_size" in triggers_doc
+        assert "185" in triggers_doc
+        assert "82" in triggers_doc
+        assert "ln(2/δ)" in triggers_doc
+
+    def test_linked_from_readme_and_architecture(self):
+        assert "triggers.md" in (REPO / "README.md").read_text()
+        assert "triggers.md" in (REPO / "docs" / "architecture.md").read_text()
+
+    def test_sweep_cli_documented(self, triggers_doc):
+        assert "repro triggers" in triggers_doc
+        assert "fig_triggers" in triggers_doc
 
 
 def _markdown_links(text: str):

@@ -34,6 +34,12 @@ class TestExamples:
         assert "shock front" in out
         assert "in-situ index" in out
 
+    def test_trigger_policies(self, capsys):
+        out = run_example("trigger_policies.py", capsys)
+        assert "entropy-percentile" in out
+        assert "82 probes" in out
+        assert "sampling cost halved at equal quality: YES" in out
+
     def test_all_examples_exist_and_have_docstrings(self):
         scripts = sorted(EXAMPLES.glob("*.py"))
         assert len(scripts) >= 7
