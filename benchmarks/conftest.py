@@ -10,6 +10,12 @@ At the end of a benchmark session the per-figure wall times are written
 to ``benchmarks/BENCH_<git-rev>.json`` -- a versioned perf snapshot that
 can be committed alongside the change that produced it, so perf drift is
 reviewable history rather than folklore.
+
+When ``bench_profile.py`` ran, the snapshot also carries a ``profile``
+section (schema ``repro.bench/2``): the span dump of the canonical
+profile workload plus the workload parameters, checked against
+``benchmarks/budgets.json``'s per-span-path ceilings and diffable with
+``repro bench-diff``.
 """
 
 import json
@@ -41,6 +47,11 @@ def bench_jobs() -> int:
 
 #: Wall time per benchmark (test name -> seconds), filled by run_once.
 _WALL: dict[str, float] = {}
+
+#: The canonical workload's span profile, stashed by ``bench_profile.py``
+#: (``{"workload": {...}, "spans": Profiler.dump()}``); embedded in the
+#: snapshot's ``profile`` section when present.
+_PROFILE: dict = {}
 
 
 def _git_rev() -> str:
@@ -82,10 +93,12 @@ def pytest_sessionfinish(session, exitstatus):
         return
     rev = _git_rev()
     payload = {
-        "schema": "repro.bench/1",
+        "schema": "repro.bench/2",
         "git_rev": rev,
         "jobs": bench_jobs(),
         "figures": {name: round(seconds, 4) for name, seconds in sorted(_WALL.items())},
     }
+    if _PROFILE:
+        payload["profile"] = _PROFILE
     path = Path(__file__).parent / f"BENCH_{rev}.json"
     path.write_text(json.dumps(payload, indent=2) + "\n")

@@ -17,6 +17,8 @@ Usage::
     python -m repro faults blackout --steps 20
     python -m repro triggers --list
     python -m repro triggers --steps 20 --scenario blackout
+    python -m repro profile --steps 20
+    python -m repro profile --budgets benchmarks/budgets.json
 
 ``run-all`` regenerates experiments through the parallel sweep runner
 (:mod:`repro.experiments.parallel`): each experiment's parameter grid is
@@ -57,6 +59,15 @@ timeline.  See ``docs/faults.md``.
 fault-free or under a named fault scenario -- and prints the
 monitoring-overhead vs adaptation-lag table (the interactive face of
 the ``fig_triggers`` sweep).  See ``docs/triggers.md``.
+
+``profile`` replays the quickstart workload with a
+:class:`~repro.observability.Profiler` injected and prints the span
+tree (call counts, cumulative and self wall-clock seconds per span
+path), the top-N hot list by self time, and the fraction of measured
+wall time the named spans attribute.  ``--budgets`` additionally
+checks the collected profile against a ``benchmarks/budgets.json``
+manifest and exits non-zero on any ceiling violation (the CI
+``profile-smoke`` job's check).  See ``docs/profiling.md``.
 """
 
 from __future__ import annotations
@@ -70,7 +81,7 @@ __all__ = ["SUBCOMMANDS", "main"]
 
 #: Non-experiment subcommands (the docs-consistency test keys off this).
 SUBCOMMANDS = ("list", "all", "run-all", "trace", "audit", "bench-diff",
-               "faults", "triggers")
+               "faults", "triggers", "profile")
 
 
 def _fig1() -> str:
@@ -516,6 +527,96 @@ def _triggers_command(argv: list[str]) -> int:
     return 0
 
 
+def _profile_command(argv: list[str]) -> int:
+    """The ``repro profile`` subcommand: span profile of a quickstart run."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro profile",
+        description="Replay the quickstart workload under the span "
+        "profiler and print where the host's wall-clock time goes: the "
+        "span tree (count, cumulative, self seconds per path), the hot "
+        "list by self time, and the attributed fraction of measured "
+        "wall time.  With --budgets, check the profile against a "
+        "budget manifest and exit 1 on any ceiling violation.",
+    )
+    parser.add_argument("--mode", default="global",
+                        choices=[m.value for m in _trace_modes()],
+                        help="execution mode (default: global)")
+    parser.add_argument("--steps", type=int, default=20,
+                        help="workload length in steps (default: 20)")
+    parser.add_argument("--seed", type=int, default=42,
+                        help="synthetic workload seed (default: 42)")
+    parser.add_argument("--top", type=int, default=10,
+                        help="hot-list length (default: 10)")
+    parser.add_argument("--budgets", metavar="PATH", default=None,
+                        help="check the profile against this "
+                        "repro.budgets/1 manifest (benchmarks/budgets.json)")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="also write the raw span dump as JSON")
+    args = parser.parse_args(argv)
+
+    import json as json_mod
+    import time
+
+    from repro.errors import ObservabilityError
+    from repro.observability import (
+        Profiler,
+        check_budgets,
+        load_budgets,
+        render_budget_report,
+        render_hot_spans,
+        render_profile,
+        unregistered_spans,
+    )
+    from repro.workflow.driver import CoupledWorkflow
+
+    budgets = None
+    if args.budgets is not None:
+        try:
+            budgets = load_budgets(args.budgets)
+        except (OSError, ObservabilityError) as exc:
+            print(f"invalid budget manifest {args.budgets}: {exc}",
+                  file=sys.stderr)
+            return 2
+
+    profiler = Profiler()
+    started = time.perf_counter()
+    with profiler.span("workload.build"):
+        config, trace = _quickstart(args.mode, args.steps, args.seed)
+    with profiler.span("workflow.setup"):
+        workflow = CoupledWorkflow(config, trace, profiler=profiler)
+    result = workflow.run()
+    wall = time.perf_counter() - started
+
+    attributed = profiler.total_seconds()
+    coverage = 100.0 * attributed / wall if wall > 0 else 0.0
+    print(f"mode={config.mode.value}  steps={len(trace)}  "
+          f"seed={args.seed}  end-to-end={result.end_to_end_seconds:.2f}s "
+          f"(simulated)")
+    print(f"host wall time {wall:.4f}s, {attributed:.4f}s attributed to "
+          f"spans ({coverage:.1f}%)")
+    print("\n## Span tree " + "#" * 58)
+    print(render_profile(profiler, total_seconds=wall))
+    print(f"\n## Hot spans (top {args.top} by self time) "
+          + "#" * max(0, 70 - 31 - len(str(args.top))))
+    print(render_hot_spans(profiler, top=args.top))
+    unknown = unregistered_spans(profiler)
+    if unknown:
+        print(f"\nWARNING: unregistered span names: {', '.join(unknown)} "
+              "(register them in PROFILE_SPANS)", file=sys.stderr)
+    if args.json is not None:
+        path = Path(args.json)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json_mod.dumps(profiler.dump(), indent=2,
+                                       sort_keys=True) + "\n")
+        print(f"\nwrote span dump to {args.json}")
+    if budgets is not None:
+        print("\n## Budget check " + "#" * 55)
+        print(render_budget_report(profiler, budgets))
+        if check_budgets(profiler, budgets):
+            return 1
+    return 0
+
+
 def _trace_modes():
     from repro.workflow import Mode
 
@@ -536,6 +637,8 @@ def main(argv: list[str] | None = None) -> int:
         return _faults_command(argv[1:])
     if argv and argv[0] == "triggers":
         return _triggers_command(argv[1:])
+    if argv and argv[0] == "profile":
+        return _profile_command(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -544,7 +647,8 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "experiment",
         help="experiment id (see 'list'), 'all', 'run-all', 'list', "
-        "'trace', 'audit', 'bench-diff', 'faults', or 'triggers'",
+        "'trace', 'audit', 'bench-diff', 'faults', 'triggers', or "
+        "'profile'",
     )
     args = parser.parse_args(argv)
 
@@ -566,6 +670,9 @@ def main(argv: list[str] | None = None) -> int:
         print(f"{'triggers'.ljust(width)}  trigger-policy comparison: "
               "monitoring overhead vs adaptation lag "
               "(see 'triggers --help')")
+        print(f"{'profile'.ljust(width)}  span profile of a quickstart "
+              "run: where host wall time goes, budget check "
+              "(see 'profile --help')")
         return 0
 
     if args.experiment == "all":

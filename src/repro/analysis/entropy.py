@@ -57,6 +57,7 @@ def block_entropies(
     bins: int = 256,
     global_range: bool = True,
     metrics=None,
+    profiler=None,
 ) -> np.ndarray:
     """Entropy of each non-overlapping block of ``field``.
 
@@ -73,14 +74,22 @@ def block_entropies(
     :func:`_reference_block_entropies`, the per-block scalar oracle.
     When a :class:`~repro.observability.MetricsRegistry` is injected via
     ``metrics``, the kernel time is published as the
-    ``analysis.entropy_kernel_seconds`` EMA timer.
+    ``analysis.entropy_kernel_seconds`` EMA timer; an injected
+    :class:`~repro.observability.Profiler` wraps the kernel in an
+    ``analysis.entropy`` span.
     """
     field = np.asarray(field)
     validate_block_shape(field, block_shape)
     if bins < 2:
         raise PolicyError(f"bins must be >= 2, got {bins}")
     start = time.perf_counter() if metrics is not None else 0.0
-    out = _block_entropies_vectorized(field, block_shape, bins, global_range)
+    if profiler is not None:
+        with profiler.span("analysis.entropy"):
+            out = _block_entropies_vectorized(
+                field, block_shape, bins, global_range
+            )
+    else:
+        out = _block_entropies_vectorized(field, block_shape, bins, global_range)
     if metrics is not None:
         timer = metrics.timer("analysis.entropy_kernel_seconds")
         timer.observe(time.perf_counter() - start)

@@ -83,6 +83,10 @@ class AdaptationEngine:
         injected, every committed decision is reported back via
         ``note_adapted`` so change-detecting policies can reset their
         references to the state they just adapted to.
+    profiler:
+        Optional :class:`~repro.observability.Profiler`; when injected,
+        every :meth:`adapt` call runs under an ``engine.adapt`` span
+        measuring the real wall-clock cost of one pass through the plan.
     """
 
     def __init__(
@@ -95,6 +99,7 @@ class AdaptationEngine:
         metrics: MetricsRegistry | None = None,
         ledger: PredictionLedger | None = None,
         trigger=None,
+        profiler=None,
     ):
         self.preferences = preferences or UserPreferences()
         self.hints = hints or UserHints()
@@ -121,6 +126,10 @@ class AdaptationEngine:
         self.metrics = metrics
         self.ledger = ledger
         self.trigger = trigger
+        self.profiler = profiler
+        # Cached reusable handle: adapt() runs every sampled step, and a
+        # per-call profiler.span() lookup is measurable there.
+        self._profile_span = None if profiler is None else profiler.span("engine.adapt")
         self.decisions: list[AdaptationDecision] = []
 
     def adapt(self, state: OperationalState) -> AdaptationDecision:
@@ -131,6 +140,13 @@ class AdaptationEngine:
         reduction shrinks data/analysis estimates, the resource layer's
         allocation changes M and T_intransit.
         """
+        span = self._profile_span
+        if span is not None:
+            with span:
+                return self._adapt(state)
+        return self._adapt(state)
+
+    def _adapt(self, state: OperationalState) -> AdaptationDecision:
         decision = AdaptationDecision(step=state.step)
         working = state
         degraded = not state.staging_reachable

@@ -52,6 +52,11 @@ class Monitor:
     (threshold + estimator-bias adjustment from ledger feedback,
     emitted as ``trigger.recalibrated``).  Left ``None``, sampling is
     bit-identical to a build without the trigger subsystem.
+
+    ``profiler`` is an optional :class:`~repro.observability.Profiler`:
+    when injected, every :meth:`snapshot` runs under a
+    ``monitor.snapshot`` span and every :meth:`evaluate_trigger` under
+    ``monitor.trigger`` -- real wall-clock cost, not simulated time.
     """
 
     def __init__(
@@ -66,6 +71,7 @@ class Monitor:
         metrics: MetricsRegistry | None = None,
         ledger: PredictionLedger | None = None,
         trigger=None,
+        profiler=None,
     ):
         if interval < 1:
             raise PolicyError(f"interval must be >= 1, got {interval}")
@@ -86,6 +92,14 @@ class Monitor:
         self.metrics = metrics
         self.ledger = ledger
         self.trigger = trigger
+        self.profiler = profiler
+        # Cached reusable handles: snapshot/trigger run every sampled step,
+        # and a per-call profiler.span() lookup is measurable there.
+        if profiler is None:
+            self._snapshot_span = self._trigger_span = None
+        else:
+            self._snapshot_span = profiler.span("monitor.snapshot")
+            self._trigger_span = profiler.span("monitor.trigger")
         # Step whose next-sim-time forecast is awaiting its realization.
         self._sim_pred_step: int | None = None
         # Most recent off-interval sample the host forced (fault recovery);
@@ -114,6 +128,13 @@ class Monitor:
     def evaluate_trigger(self, indicators):
         """Ask the injected trigger whether ``indicators`` warrant a full
         adaptation; publishes the verdict as events and metrics."""
+        span = self._trigger_span
+        if span is not None:
+            with span:
+                return self._evaluate_trigger(indicators)
+        return self._evaluate_trigger(indicators)
+
+    def _evaluate_trigger(self, indicators):
         decision = self.trigger.should_adapt(indicators)
         if self.metrics is not None:
             if decision.budget_spent:
@@ -264,6 +285,51 @@ class Monitor:
         staging_reachable: bool = True,
     ) -> OperationalState:
         """Build (and record) the operational state for ``step``."""
+        kwargs = dict(
+            step=step,
+            ndim=ndim,
+            data_bytes=data_bytes,
+            rank_data_bytes=rank_data_bytes,
+            rank_memory_available=rank_memory_available,
+            analysis_work=analysis_work,
+            sim_cores=sim_cores,
+            staging_active_cores=staging_active_cores,
+            staging_total_cores=staging_total_cores,
+            staging_memory_total=staging_memory_total,
+            staging_memory_used=staging_memory_used,
+            staging_busy=staging_busy,
+            est_intransit_remaining=est_intransit_remaining,
+            insitu_memory_ok=insitu_memory_ok,
+            core_rate=core_rate,
+            steps_remaining=steps_remaining,
+            staging_reachable=staging_reachable,
+        )
+        span = self._snapshot_span
+        if span is not None:
+            with span:
+                return self._snapshot(**kwargs)
+        return self._snapshot(**kwargs)
+
+    def _snapshot(
+        self,
+        step: int,
+        ndim: int,
+        data_bytes: float,
+        rank_data_bytes: float,
+        rank_memory_available: float,
+        analysis_work: float,
+        sim_cores: int,
+        staging_active_cores: int,
+        staging_total_cores: int,
+        staging_memory_total: float,
+        staging_memory_used: float,
+        staging_busy: bool,
+        est_intransit_remaining: float,
+        insitu_memory_ok: bool,
+        core_rate: float,
+        steps_remaining: int | None = None,
+        staging_reachable: bool = True,
+    ) -> OperationalState:
         intransit_memory_ok = (
             staging_memory_used + data_bytes
             <= staging_memory_total * (1 + 1e-9)

@@ -31,7 +31,11 @@ unambiguously).  When a
 publish the ``experiments.cache_hits`` / ``experiments.cache_misses``
 counters, failed disk stores the
 ``experiments.cache_store_failures`` counter, and contended per-key
-file locks the ``experiments.cache_lock_waits`` counter.
+file locks the ``experiments.cache_lock_waits`` counter.  When a
+:class:`~repro.observability.Profiler` is attached
+(:meth:`ExperimentCache.attach_profiler`), every lookup runs under a
+``cache.lookup`` span with actual artifact computes nested under
+``cache.compute``.
 
 The disk layer is safe for concurrent writers: artifacts are written
 via ``os.replace`` (never torn), and the miss path holds a per-key
@@ -220,9 +224,11 @@ class ExperimentCache:
     ``REPRO_NO_CACHE=1`` by delegating straight to the compute path.
     """
 
-    def __init__(self, cache_dir: str | Path | None = None, metrics=None):
+    def __init__(self, cache_dir: str | Path | None = None, metrics=None,
+                 profiler=None):
         self.cache_dir = cache_dir
         self.metrics = metrics
+        self.profiler = profiler
         self._values: dict[str, Any] = {}
         self._sessions: dict[str, Any] = {}
 
@@ -231,6 +237,20 @@ class ExperimentCache:
     def attach_metrics(self, registry) -> None:
         """Publish hit/miss counters to ``registry`` from now on."""
         self.metrics = registry
+
+    def attach_profiler(self, profiler) -> None:
+        """Wrap lookups (``cache.lookup``) and artifact computes
+        (``cache.compute``) in profiler spans from now on."""
+        self.profiler = profiler
+
+    def _compute(self, fn: Callable[[], Any]) -> Any:
+        """Run an artifact compute, spanned as ``cache.compute`` when a
+        profiler is attached (nested under ``cache.lookup`` on the
+        cache-enabled path)."""
+        if self.profiler is not None:
+            with self.profiler.span("cache.compute"):
+                return fn()
+        return fn()
 
     def _count(self, hit: bool) -> None:
         if self.metrics is not None:
@@ -357,7 +377,13 @@ class ExperimentCache:
     def value(self, kind: str, params: dict, compute: Callable[[], Any]) -> Any:
         """Generic memo for a deterministic, parameter-keyed computation."""
         if not cache_enabled():
-            return compute()
+            return self._compute(compute)
+        if self.profiler is not None:
+            with self.profiler.span("cache.lookup"):
+                return self._value(kind, params, compute)
+        return self._value(kind, params, compute)
+
+    def _value(self, kind: str, params: dict, compute: Callable[[], Any]) -> Any:
         key = self.key(kind, **params)
         cached = self._values.get(key, _MISS)
         if cached is not _MISS:
@@ -371,7 +397,7 @@ class ExperimentCache:
         self._count(hit=False)
         root = self._dir()
         if root is None:
-            result = self._values[key] = compute()
+            result = self._values[key] = self._compute(compute)
             return result
         with self._locked(root, key):
             # A concurrent worker may have stored it while this one
@@ -380,7 +406,7 @@ class ExperimentCache:
             if stored is not _MISS:
                 self._values[key] = stored
                 return stored
-            result = self._values[key] = compute()
+            result = self._values[key] = self._compute(compute)
             self._disk_store(key, result)
         return result
 
@@ -400,7 +426,20 @@ class ExperimentCache:
         advance the live stepper forward.
         """
         if not cache_enabled():
-            return capture_trace(build(), nsteps, name=name)
+            return self._compute(lambda: capture_trace(build(), nsteps, name=name))
+        if self.profiler is not None:
+            with self.profiler.span("cache.lookup"):
+                return self._trace(kind, params, nsteps, build, name)
+        return self._trace(kind, params, nsteps, build, name)
+
+    def _trace(
+        self,
+        kind: str,
+        params: dict,
+        nsteps: int,
+        build: Callable[[], Any],
+        name: str,
+    ) -> WorkloadTrace:
         skey = self.key(kind, **params)
         session = self._sessions.get(skey)
         if session is None:
@@ -415,7 +454,7 @@ class ExperimentCache:
         self._count(hit=False)
         root = self._dir()
         if root is None:
-            return session.extend_to(nsteps)
+            return self._compute(lambda: session.extend_to(nsteps))
         with self._locked(root, skey):
             # A concurrent worker may have stored a capture at least as
             # long while this one waited; adopting it (when no live
@@ -429,7 +468,7 @@ class ExperimentCache:
             ):
                 session.adopt(stored)
                 return session.prefix(nsteps)
-            trace = session.extend_to(nsteps)
+            trace = self._compute(lambda: session.extend_to(nsteps))
             if stored is _MISS or len(stored.steps) < len(session.records):
                 self._disk_store(skey, session.prefix(len(session.records)))
         return trace
@@ -447,9 +486,24 @@ class ExperimentCache:
         Returns a private copy, so callers may mutate the result freely.
         """
         if not cache_enabled():
-            stepper = build()
-            stepper.run(nsteps)
-            return extract(stepper)
+            def _fresh() -> np.ndarray:
+                stepper = build()
+                stepper.run(nsteps)
+                return extract(stepper)
+            return self._compute(_fresh)
+        if self.profiler is not None:
+            with self.profiler.span("cache.lookup"):
+                return self._field(kind, params, nsteps, build, extract)
+        return self._field(kind, params, nsteps, build, extract)
+
+    def _field(
+        self,
+        kind: str,
+        params: dict,
+        nsteps: int,
+        build: Callable[[], Any],
+        extract: Callable[[Any], np.ndarray],
+    ) -> np.ndarray:
         skey = self.key(kind, **params)
         session = self._sessions.get(skey)
         if session is None:
@@ -467,7 +521,7 @@ class ExperimentCache:
         self._count(hit=False)
         root = self._dir()
         if root is None:
-            field = session.advance_to(nsteps)
+            field = self._compute(lambda: session.advance_to(nsteps))
             session.fields[nsteps] = field
             return field.copy()
         with self._locked(root, fkey):
@@ -475,7 +529,7 @@ class ExperimentCache:
             if stored is not _MISS:
                 session.fields[nsteps] = stored
                 return stored.copy()
-            field = session.advance_to(nsteps)
+            field = self._compute(lambda: session.advance_to(nsteps))
             session.fields[nsteps] = field
             self._disk_store(fkey, field)
         return field.copy()

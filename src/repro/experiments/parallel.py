@@ -22,12 +22,14 @@ stampedes into one compute plus N-1 disk hits, and the parent resolves
 the git code salt once (:func:`~repro.experiments.cache.set_code_salt`)
 instead of each worker spawning its own ``git rev-parse``.
 
-Observability: each completed point returns its worker's metrics dump;
-the parent folds them into an injected
+Observability: each completed point returns its worker's metrics dump
+and profiler span dump; the parent folds them into an injected
 :class:`~repro.observability.MetricsRegistry` via
-:func:`~repro.observability.merge_worker_metrics` (counters summed in
-grid order, so aggregates are reproducible) and emits one
-``sweep.point`` trace event per point when a tracer is injected.
+:func:`~repro.observability.merge_worker_metrics` and an injected
+:class:`~repro.observability.Profiler` via
+:func:`~repro.observability.merge_worker_profiles` (both in grid order,
+so aggregates are reproducible) and emits one ``sweep.point`` trace
+event per point when a tracer is injected.
 
 ``python -m repro run-all [--jobs N] [--only fig6,fig9]`` is the CLI
 face of this module; see ``docs/performance.md``.
@@ -171,26 +173,36 @@ def expand_grid(
     return tasks
 
 
-def _execute_point(name: str, params: Mapping[str, Any]) -> tuple[Any, dict, float]:
-    """Run one grid point with a private metrics registry attached.
+def _execute_point(
+    name: str, params: Mapping[str, Any]
+) -> tuple[Any, dict, dict, float]:
+    """Run one grid point with private metrics + profiler attached.
 
-    The registry is swapped onto the process-wide default cache for the
-    duration of the point, so the returned dump attributes cache traffic
-    to exactly this point (workers ship it back to the parent).
+    The registry and profiler are swapped onto the process-wide default
+    cache for the duration of the point, so the returned dumps attribute
+    cache traffic and wall time to exactly this point (workers ship them
+    back to the parent).  The whole point runs under a ``sweep.point``
+    span, so cache lookups/computes nest beneath it.
     """
     from repro.observability.metrics import MetricsRegistry
+    from repro.observability.profiler import Profiler
 
     registry = MetricsRegistry()
+    profiler = Profiler()
     cache = cache_mod.default_cache()
     previous = cache.metrics
+    previous_profiler = cache.profiler
     cache.metrics = registry
+    cache.profiler = profiler
     try:
         started = time.perf_counter()
-        result = SWEEPS[name].run_point(params)
+        with profiler.span("sweep.point"):
+            result = SWEEPS[name].run_point(params)
         seconds = time.perf_counter() - started
     finally:
         cache.metrics = previous
-    return result, registry.dump(), seconds
+        cache.profiler = previous_profiler
+    return result, registry.dump(), profiler.dump(), seconds
 
 
 def _worker_init(code_salt: str, cache_dir: str | None) -> None:
@@ -204,11 +216,13 @@ def _worker_init(code_salt: str, cache_dir: str | None) -> None:
         os.environ["REPRO_CACHE_DIR"] = cache_dir
 
 
-def _worker_run(task: tuple[str, int, dict]) -> tuple[str, int, Any, dict, float, int]:
+def _worker_run(
+    task: tuple[str, int, dict]
+) -> tuple[str, int, Any, dict, dict, float, int]:
     """Pool entry point: compute one task, return it with provenance."""
     name, index, params = task
-    result, dump, seconds = _execute_point(name, params)
-    return name, index, result, dump, seconds, os.getpid()
+    result, dump, profile, seconds = _execute_point(name, params)
+    return name, index, result, dump, profile, seconds, os.getpid()
 
 
 def run_all(
@@ -217,6 +231,7 @@ def run_all(
     jobs: int = 1,
     metrics=None,
     tracer=None,
+    profiler=None,
     grids: Mapping[str, Sequence[Mapping[str, Any]]] | None = None,
 ) -> list[SweepOutcome]:
     """Regenerate experiments, fanning grid points over ``jobs`` workers.
@@ -237,10 +252,18 @@ def run_all(
     tracer:
         Optional :class:`~repro.observability.Tracer`; one
         ``sweep.point`` event is emitted per completed point.
+    profiler:
+        Optional :class:`~repro.observability.Profiler`; every point's
+        span dump (one ``sweep.point`` root with cache spans beneath) is
+        folded in with
+        :func:`~repro.observability.merge_worker_profiles` in grid
+        order, yielding one deterministic aggregated profile no matter
+        how many workers ran.
     grids:
         Per-experiment grid overrides (see :func:`expand_grid`).
     """
     from repro.observability.metrics import merge_worker_metrics
+    from repro.observability.profiler import merge_worker_profiles
 
     if jobs < 1:
         raise ExperimentError(f"jobs must be >= 1, got {jobs}")
@@ -275,11 +298,13 @@ def run_all(
 
     by_experiment: dict[str, list[Any]] = {name: [] for name in names}
     seconds: dict[str, float] = {name: 0.0 for name in names}
-    for name, index, result, dump, point_seconds, worker in completed:
+    for name, index, result, dump, profile, point_seconds, worker in completed:
         by_experiment[name].append((index, result))
         seconds[name] += point_seconds
         if metrics is not None:
             merge_worker_metrics(metrics, [dump])
+        if profiler is not None:
+            merge_worker_profiles(profiler, [profile])
         if tracer is not None:
             tracer.emit(
                 "sweep.point",

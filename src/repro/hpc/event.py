@@ -284,7 +284,7 @@ class Simulator:
         assert sim.now == 1.5 and proc.value == "done"
     """
 
-    def __init__(self, faults: Any = None):
+    def __init__(self, faults: Any = None, profiler: Any = None):
         self._now = 0.0
         self._heap: list[tuple[float, int, Callable[[], None]]] = []
         self._counter = 0
@@ -292,6 +292,10 @@ class Simulator:
         # Optional fault injector (repro.faults.FaultInjector); duck-typed
         # so the kernel stays free of upward imports.
         self.faults = faults
+        # Optional wall-clock profiler (repro.observability.Profiler), also
+        # duck-typed: the kernel itself stays free of wall time -- the
+        # profiler only measures how long *we* take to replay simulated time.
+        self.profiler = profiler
         if faults is not None:
             faults.attach_simulator(self)
 
@@ -355,6 +359,12 @@ class Simulator:
         If a process died with an exception nobody was waiting on, the
         exception is re-raised here so failures are never lost.
         """
+        if self.profiler is not None:
+            with self.profiler.span("sim.run"):
+                return self._run_loop(until)
+        return self._run_loop(until)
+
+    def _run_loop(self, until: float | Event | None) -> Any:
         stop_event: Event | None = None
         horizon: float | None = None
         if isinstance(until, Event):

@@ -11,6 +11,14 @@ publishes into:
   JSONL export (:meth:`Tracer.to_jsonl` / :func:`read_jsonl`);
 - :class:`MetricsRegistry` -- named :class:`Counter` / :class:`Gauge` /
   :class:`EmaTimer` instruments;
+- :class:`Profiler` -- nested wall-clock spans (``with
+  profiler.span("engine.adapt")``) aggregating call counts, cumulative
+  and self seconds per span path (:data:`PROFILE_SPANS` is the closed
+  registry of span names), with :func:`render_profile` /
+  :func:`render_hot_spans` renderings, :func:`merge_worker_profiles`
+  cross-process aggregation and the :func:`check_budgets` /
+  :func:`load_budgets` hot-path budget layer over
+  ``benchmarks/budgets.json`` (:data:`BUDGETS_SCHEMA`);
 - :class:`PredictionLedger` -- every estimate the Monitor and the
   Adaptation Engine decide on, paired with the realized value the event
   simulator later delivers, plus per-step placement outcomes for
@@ -36,6 +44,13 @@ closed registries of everything the built-in instrumentation can emit;
 see ``docs/observability.md`` for the schemas and worked examples.
 """
 
+from repro.observability.budgets import (
+    BUDGETS_SCHEMA,
+    BudgetViolation,
+    check_budgets,
+    load_budgets,
+    render_budget_report,
+)
 from repro.observability.calibration import (
     EstimatorCalibration,
     RegretSummary,
@@ -70,6 +85,15 @@ from repro.observability.metrics import (
     MetricsRegistry,
     merge_worker_metrics,
 )
+from repro.observability.profiler import (
+    PROFILE_SPANS,
+    Profiler,
+    SpanStat,
+    merge_worker_profiles,
+    render_hot_spans,
+    render_profile,
+    unregistered_spans,
+)
 from repro.observability.timeline import (
     decision_timeline,
     fault_timeline,
@@ -79,6 +103,8 @@ from repro.observability.tracer import Tracer, read_jsonl
 
 __all__ = [
     "BENCH_SCHEMA",
+    "BUDGETS_SCHEMA",
+    "BudgetViolation",
     "Counter",
     "EmaTimer",
     "EstimatorCalibration",
@@ -89,25 +115,35 @@ __all__ = [
     "PlacementOutcome",
     "PredictionLedger",
     "PredictionRecord",
+    "PROFILE_SPANS",
+    "Profiler",
     "QUANTITIES",
     "RegretSummary",
     "SNAPSHOT_SCHEMA",
+    "SpanStat",
     "TraceEvent",
     "Tracer",
     "calibrate",
     "calibration_report",
+    "check_budgets",
     "decision_timeline",
     "diff_bench",
     "diff_snapshots",
     "export_snapshot",
     "fault_timeline",
     "load_bench",
+    "load_budgets",
     "load_snapshot",
     "merge_worker_metrics",
+    "merge_worker_profiles",
     "occupancy_gantt",
     "placement_regret",
     "prometheus_text",
     "read_jsonl",
     "render_bench_diff",
+    "render_budget_report",
     "render_diff",
+    "render_hot_spans",
+    "render_profile",
+    "unregistered_spans",
 ]

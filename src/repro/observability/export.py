@@ -4,16 +4,21 @@ Two ways to get the observability state out of a run:
 
 - :func:`prometheus_text` -- the Prometheus text exposition format
   (``# HELP`` / ``# TYPE`` / sample lines) over a
-  :class:`~repro.observability.metrics.MetricsRegistry` and, when a
+  :class:`~repro.observability.metrics.MetricsRegistry`, the span
+  aggregates of an injected
+  :class:`~repro.observability.profiler.Profiler` (call counts plus
+  cumulative and self seconds, one ``span`` label per path) and, when a
   ledger is given, the calibration gauges and regret counters derived
   from it.  Metric names are prefixed ``repro_`` with dots mapped to
   underscores (``workflow.steps`` -> ``repro_workflow_steps_total``).
 - :func:`export_snapshot` / :func:`load_snapshot` /
   :func:`diff_snapshots` -- a versioned JSON snapshot
-  (:data:`SNAPSHOT_SCHEMA`) carrying the metrics, the per-quantity
-  calibration summary, the regret summary and the full ledger, plus a
-  differ that reports estimate-error drift, regret delta and placement
-  decision flips between two exported runs (``repro audit --diff``).
+  (:data:`SNAPSHOT_SCHEMA`) carrying the metrics, the profiler span
+  aggregates, the per-quantity calibration summary, the regret summary
+  and the full ledger, plus a differ that reports estimate-error drift,
+  regret delta and placement decision flips between two exported runs
+  (``repro audit --diff``).  Version-1 snapshots (no ``profile`` key)
+  load and diff without error.
 """
 
 from __future__ import annotations
@@ -32,6 +37,7 @@ from repro.observability.metrics import (
     Gauge,
     MetricsRegistry,
 )
+from repro.observability.profiler import Profiler
 
 __all__ = [
     "BENCH_SCHEMA",
@@ -47,11 +53,21 @@ __all__ = [
 ]
 
 #: Version tag of the JSON snapshot layout; bumped on breaking changes.
-SNAPSHOT_SCHEMA = "repro.observability.snapshot/1"
+#: Version 2 added the ``profile`` section (profiler span aggregates);
+#: version-1 snapshots still load.
+SNAPSHOT_SCHEMA = "repro.observability.snapshot/2"
+
+#: Older snapshot layouts :func:`load_snapshot` still accepts.
+_SNAPSHOT_SCHEMAS = (SNAPSHOT_SCHEMA, "repro.observability.snapshot/1")
 
 #: Version tag of the benchmark wall-time snapshots ``benchmarks/conftest.py``
-#: writes (``benchmarks/BENCH_<rev>.json``).
-BENCH_SCHEMA = "repro.bench/1"
+#: writes (``benchmarks/BENCH_<rev>.json``).  Version 2 added the
+#: ``profile`` section (span aggregates + budget audit of the canonical
+#: profile workload); version-1 snapshots still load and diff.
+BENCH_SCHEMA = "repro.bench/2"
+
+#: Older bench layouts :func:`load_bench` still accepts.
+_BENCH_SCHEMAS = (BENCH_SCHEMA, "repro.bench/1")
 
 
 def _prom_name(name: str) -> str:
@@ -68,13 +84,16 @@ def _prom_value(value: float) -> str:
 def prometheus_text(
     metrics: MetricsRegistry | None = None,
     ledger: PredictionLedger | None = None,
+    profiler: Profiler | None = None,
 ) -> str:
     """Render the current state in Prometheus text exposition format.
 
     Counters gain the conventional ``_total`` suffix; EMA timers export
     their smoothed value as a gauge plus ``_count``/``_sum`` counters
     (the summary convention).  Ledger-derived series carry a
-    ``quantity`` label per estimator.
+    ``quantity`` label per estimator; profiler span aggregates carry a
+    ``span`` label per path (call counts plus cumulative and self
+    seconds).
     """
     lines: list[str] = []
 
@@ -100,6 +119,18 @@ def prometheus_text(
                        instrument.count)
                 sample(base + "_sum", "counter", help_text + " (total seconds)",
                        instrument.total)
+
+    if profiler is not None:
+        for path, snap in sorted(profiler.dump().items()):
+            labels = f'{{span="{path}"}}'
+            sample("repro_span_calls_total", "counter",
+                   "times the span was entered", snap["count"], labels)
+            sample("repro_span_seconds_total", "counter",
+                   "cumulative wall-clock seconds inside the span",
+                   snap["cum_seconds"], labels)
+            sample("repro_span_self_seconds_total", "counter",
+                   "wall-clock seconds inside the span minus child spans",
+                   snap["self_seconds"], labels)
 
     if ledger is not None:
         stats = calibrate(ledger)
@@ -142,9 +173,17 @@ def export_snapshot(
     ledger: PredictionLedger | None = None,
     label: str = "",
     path: str | Path | None = None,
+    profiler: Profiler | None = None,
 ) -> dict[str, Any]:
-    """Build (and optionally write) a versioned observability snapshot."""
+    """Build (and optionally write) a versioned observability snapshot.
+
+    With a ``profiler`` the snapshot's ``profile`` key carries the span
+    aggregates (:meth:`~repro.observability.profiler.Profiler.dump`);
+    without one it is an empty mapping, matching what version-1
+    snapshots implicitly had.
+    """
     payload: dict[str, Any] = {"schema": SNAPSHOT_SCHEMA, "label": label}
+    payload["profile"] = profiler.dump() if profiler is not None else {}
 
     metrics_payload: dict[str, Any] = {}
     if metrics is not None:
@@ -219,7 +258,10 @@ def load_snapshot(source: str | Path | Mapping[str, Any]) -> dict[str, Any]:
             payload = json.loads(text)
         except json.JSONDecodeError as exc:
             raise ObservabilityError(f"not a snapshot: {exc}") from exc
-    if not isinstance(payload, dict) or payload.get("schema") != SNAPSHOT_SCHEMA:
+    if (
+        not isinstance(payload, dict)
+        or payload.get("schema") not in _SNAPSHOT_SCHEMAS
+    ):
         raise ObservabilityError(
             f"not a {SNAPSHOT_SCHEMA} snapshot: "
             f"schema={payload.get('schema')!r}"
@@ -300,7 +342,10 @@ def load_bench(source: str | Path | Mapping[str, Any]) -> dict[str, Any]:
             payload = json.loads(text)
         except json.JSONDecodeError as exc:
             raise ObservabilityError(f"not a bench snapshot: {exc}") from exc
-    if not isinstance(payload, dict) or payload.get("schema") != BENCH_SCHEMA:
+    if (
+        not isinstance(payload, dict)
+        or payload.get("schema") not in _BENCH_SCHEMAS
+    ):
         raise ObservabilityError(
             f"not a {BENCH_SCHEMA} snapshot: schema="
             f"{payload.get('schema')!r}"
@@ -316,11 +361,14 @@ def load_bench(source: str | Path | Mapping[str, Any]) -> dict[str, Any]:
 def diff_bench(
     a: str | Path | Mapping[str, Any], b: str | Path | Mapping[str, Any]
 ) -> dict[str, Any]:
-    """Per-benchmark wall-time drift between two ``repro.bench/1`` snapshots.
+    """Per-benchmark wall-time drift between two bench snapshots.
 
     Positive ``delta`` values mean ``b`` is slower than ``a``; ``speedup``
     is ``a / b`` (>1 means ``b`` improved).  Totals cover only benchmarks
-    present in both snapshots.
+    present in both snapshots.  When both snapshots carry a ``profile``
+    section (schema ``repro.bench/2``), the span aggregates drift the
+    same way under the ``spans`` key; a ``repro.bench/1`` snapshot on
+    either side simply yields an empty ``spans`` mapping.
     """
     snap_a, snap_b = load_bench(a), load_bench(b)
     figs_a, figs_b = snap_a["figures"], snap_b["figures"]
@@ -339,9 +387,32 @@ def diff_bench(
     shared = [n for n in figures if n in figs_a and n in figs_b]
     total_a = float(sum(figs_a[n] for n in shared))
     total_b = float(sum(figs_b[n] for n in shared))
+
+    spans_a = (snap_a.get("profile") or {}).get("spans", {})
+    spans_b = (snap_b.get("profile") or {}).get("spans", {})
+    spans: dict[str, Any] = {}
+    if spans_a and spans_b:
+        for path in sorted(set(spans_a) | set(spans_b)):
+            pa, pb = spans_a.get(path), spans_b.get(path)
+            cum_a = None if pa is None else float(pa["cum_seconds"])
+            cum_b = None if pb is None else float(pb["cum_seconds"])
+            spans[path] = {
+                "cum_a": cum_a,
+                "cum_b": cum_b,
+                "count_a": None if pa is None else int(pa["count"]),
+                "count_b": None if pb is None else int(pb["count"]),
+                "delta": (
+                    None if cum_a is None or cum_b is None else cum_b - cum_a
+                ),
+                "speedup": (
+                    None if cum_a is None or cum_b is None or cum_b <= 0
+                    else cum_a / cum_b
+                ),
+            }
     return {
         "labels": (snap_a.get("git_rev", "a"), snap_b.get("git_rev", "b")),
         "figures": figures,
+        "spans": spans,
         "total_a": total_a,
         "total_b": total_b,
         "total_delta": total_b - total_a,
@@ -391,6 +462,34 @@ def render_bench_diff(diff: Mapping[str, Any]) -> str:
         )
         + ")"
     )
+    spans = diff.get("spans", {})
+    if spans:
+        lines.append("")
+        lines.append("profile span drift (cumulative seconds):")
+        span_headers = ["span path", "a (s)", "b (s)", "delta (s)", "speedup"]
+        span_entries = sorted(
+            spans.items(), key=lambda item: -(item[1]["cum_a"] or 0.0)
+        )
+        span_rows = [
+            [
+                path,
+                fmt(s["cum_a"], "{:.4f}"),
+                fmt(s["cum_b"], "{:.4f}"),
+                fmt(s["delta"], "{:+.4f}"),
+                fmt(s["speedup"], "{:.2f}x"),
+            ]
+            for path, s in span_entries
+        ]
+        span_widths = [
+            max(len(h), max((len(r[i]) for r in span_rows), default=0))
+            for i, h in enumerate(span_headers)
+        ]
+        lines.append("  ".join(h.ljust(w)
+                               for h, w in zip(span_headers, span_widths)))
+        lines.append("  ".join("-" * w for w in span_widths))
+        for row in span_rows:
+            lines.append("  ".join(c.ljust(w)
+                                   for c, w in zip(row, span_widths)))
     return "\n".join(lines)
 
 

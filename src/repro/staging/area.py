@@ -109,6 +109,11 @@ class StagingArea:
     retry_policy:
         Bounded-backoff policy for faulted ingest attempts (only consulted
         when a fault plan drops objects).
+    profiler:
+        Optional :class:`~repro.observability.Profiler`; when injected,
+        each submission runs under a ``staging.submit`` span and each
+        job's completion bookkeeping under ``staging.drain`` -- real
+        wall-clock cost of the staging service, not simulated time.
     """
 
     def __init__(
@@ -126,6 +131,7 @@ class StagingArea:
         ledger: PredictionLedger | None = None,
         faults=None,
         retry_policy: RetryPolicy | None = None,
+        profiler=None,
     ):
         if total_cores < 1:
             raise StagingError(f"need at least one staging core, got {total_cores}")
@@ -148,6 +154,16 @@ class StagingArea:
         self.metrics = metrics
         self.ledger = ledger
         self.faults = faults
+        self.profiler = profiler
+        # Cached reusable handles: submit/drain run per staged step, and a
+        # per-call profiler.span() lookup is measurable there.  Safe to
+        # share across in-flight jobs: neither span crosses a simulator
+        # yield, so entries never overlap.
+        if profiler is None:
+            self._submit_span = self._drain_span = None
+        else:
+            self._submit_span = profiler.span("staging.submit")
+            self._drain_span = profiler.span("staging.drain")
         self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
         self._failed_cores = 0
         self._restored: Event | None = None
@@ -282,6 +298,13 @@ class StagingArea:
         data -- callers (the middleware policy) must check :meth:`can_fit`
         first; the paper falls back to in-situ in that case.
         """
+        span = self._submit_span
+        if span is not None:
+            with span:
+                return self._submit(step, nbytes, work_units)
+        return self._submit(step, nbytes, work_units)
+
+    def _submit(self, step: int, nbytes: float, work_units: float) -> AnalysisJob:
         if not self.reachable:
             raise StagingError(
                 "staging unreachable: every staging core has failed"
@@ -425,23 +448,32 @@ class StagingArea:
                     # is discarded and the job re-runs from the staged copy.
                     continue
                 break
-            job.finished_at = self.sim.now
-            # Clamp: float residue must never drive the gauge negative.
-            self.memory_used = max(0.0, self.memory_used - job.nbytes)
-            self.completed.append(job)
-            if self.metrics is not None:
-                self.metrics.counter("staging.jobs_completed").inc()
-                self.metrics.timer("staging.service_seconds").observe(duration)
-                self.metrics.gauge("staging.memory_used").set(self.memory_used)
-            if self.tracer is not None and self.tracer.enabled:
-                self.tracer.emit(
-                    STAGING_JOB_END,
-                    step=job.step,
-                    job_id=job.job_id,
-                    service_seconds=duration,
-                    memory_used=self.memory_used,
-                )
-            job.done.succeed(job)
+            span = self._drain_span
+            if span is not None:
+                with span:
+                    self._complete(job, duration)
+            else:
+                self._complete(job, duration)
+
+    def _complete(self, job: AnalysisJob, duration: float) -> None:
+        """Completion bookkeeping for one drained job (synchronous)."""
+        job.finished_at = self.sim.now
+        # Clamp: float residue must never drive the gauge negative.
+        self.memory_used = max(0.0, self.memory_used - job.nbytes)
+        self.completed.append(job)
+        if self.metrics is not None:
+            self.metrics.counter("staging.jobs_completed").inc()
+            self.metrics.timer("staging.service_seconds").observe(duration)
+            self.metrics.gauge("staging.memory_used").set(self.memory_used)
+        if self.tracer is not None and self.tracer.enabled:
+            self.tracer.emit(
+                STAGING_JOB_END,
+                step=job.step,
+                job_id=job.job_id,
+                service_seconds=duration,
+                memory_used=self.memory_used,
+            )
+        job.done.succeed(job)
 
     # -- state the policies observe ------------------------------------------------
 

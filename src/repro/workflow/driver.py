@@ -38,6 +38,7 @@ from repro.observability.events import (
 )
 from repro.observability.ledger import PredictionLedger
 from repro.observability.metrics import MetricsRegistry
+from repro.observability.profiler import Profiler
 from repro.observability.tracer import Tracer
 from repro.staging.area import AnalysisJob, StagingArea
 from repro.workflow.config import Mode, WorkflowConfig
@@ -82,6 +83,15 @@ class CoupledWorkflow:
     is fed back into the trigger's thresholds and the Monitor's
     estimate bias on the policy's ``recalibrate_every`` cadence.  Left
     ``None``, sampling is bit-identical to a build without triggers.
+
+    ``profiler`` accepts a :class:`~repro.observability.Profiler`; when
+    injected it is shared with the simulator, the Monitor, the
+    Adaptation Engine and the staging area, and the driver wraps the
+    whole run in a ``workflow.run`` span with each decision under
+    ``workflow.decide`` (see :data:`~repro.observability.PROFILE_SPANS`
+    for the catalog).  Unlike the tracer, the profiler measures *real*
+    wall-clock seconds -- how long the host takes to replay simulated
+    time -- so spans only ever enclose synchronous sections.
     """
 
     def __init__(
@@ -93,6 +103,7 @@ class CoupledWorkflow:
         ledger: PredictionLedger | None = None,
         faults: FaultPlan | FaultInjector | None = None,
         trigger: TriggerPolicy | None = None,
+        profiler: "Profiler | None" = None,
     ):
         if not len(trace):
             raise WorkflowError("trace has no steps")
@@ -102,10 +113,14 @@ class CoupledWorkflow:
         if isinstance(faults, FaultPlan):
             faults = FaultInjector(faults, tracer=tracer, metrics=metrics)
         self.faults = faults
-        self.sim = Simulator(faults=faults)
+        self.sim = Simulator(faults=faults, profiler=profiler)
         self.tracer = tracer
         self.metrics = metrics
         self.ledger = ledger
+        self.profiler = profiler
+        # Cached reusable handle: _decide runs every step, and a per-call
+        # profiler.span() lookup is measurable there.
+        self._decide_span = None if profiler is None else profiler.span("workflow.decide")
         if tracer is not None:
             tracer.bind_clock(lambda: self.sim.now)
         if ledger is not None:
@@ -125,6 +140,7 @@ class CoupledWorkflow:
             metrics=metrics,
             ledger=ledger,
             faults=faults,
+            profiler=profiler,
         )
         if faults is not None:
             faults.attach_network(self.network)
@@ -149,6 +165,7 @@ class CoupledWorkflow:
             metrics=metrics,
             ledger=ledger,
             trigger=trigger,
+            profiler=profiler,
         )
         layers = config.mode.adaptive_layers
         if layers is None:
@@ -160,6 +177,7 @@ class CoupledWorkflow:
                 metrics=metrics,
                 ledger=ledger,
                 trigger=trigger,
+                profiler=profiler,
             )
         elif layers:
             self.engine = AdaptationEngine(
@@ -171,6 +189,7 @@ class CoupledWorkflow:
                 metrics=metrics,
                 ledger=ledger,
                 trigger=trigger,
+                profiler=profiler,
             )
         else:
             self.engine = None
@@ -190,6 +209,12 @@ class CoupledWorkflow:
 
     def run(self) -> WorkflowResult:
         """Execute the whole trace; returns validated aggregate metrics."""
+        if self.profiler is not None:
+            with self.profiler.span("workflow.run"):
+                return self._run()
+        return self._run()
+
+    def _run(self) -> WorkflowResult:
         if self.tracer is not None and self.tracer.enabled:
             self.tracer.emit(
                 RUN_START,
@@ -520,6 +545,33 @@ class CoupledWorkflow:
         steps_remaining: int,
         indicators: TriggerIndicators | None = None,
     ) -> AdaptationDecision:
+        # The decision is fully synchronous (no simulator yields), so the
+        # span cleanly bounds one pass through monitor + engine.
+        span = self._decide_span
+        if span is not None:
+            with span:
+                return self._decide_impl(
+                    step, data_bytes, rank_out_bytes, rank_available,
+                    analysis_work, insitu_ok, last, steps_remaining,
+                    indicators,
+                )
+        return self._decide_impl(
+            step, data_bytes, rank_out_bytes, rank_available,
+            analysis_work, insitu_ok, last, steps_remaining, indicators,
+        )
+
+    def _decide_impl(
+        self,
+        step: int,
+        data_bytes: float,
+        rank_out_bytes: float,
+        rank_available: float,
+        analysis_work: float,
+        insitu_ok: bool,
+        last: AdaptationDecision | None,
+        steps_remaining: int,
+        indicators: TriggerIndicators | None = None,
+    ) -> AdaptationDecision:
         mode = self.config.mode
         if mode is Mode.POST_PROCESSING:
             return AdaptationDecision(step=step, placement=Placement.POST_PROCESS)
@@ -672,9 +724,10 @@ def run_workflow(
     ledger: PredictionLedger | None = None,
     faults: FaultPlan | FaultInjector | None = None,
     trigger: TriggerPolicy | None = None,
+    profiler: Profiler | None = None,
 ) -> WorkflowResult:
     """Convenience: build and run a workflow in one call."""
     return CoupledWorkflow(
         config, trace, tracer=tracer, metrics=metrics, ledger=ledger,
-        faults=faults, trigger=trigger,
+        faults=faults, trigger=trigger, profiler=profiler,
     ).run()

@@ -6,13 +6,18 @@ import pytest
 
 from repro.errors import ObservabilityError
 from repro.observability import (
+    BENCH_SCHEMA,
     SNAPSHOT_SCHEMA,
     MetricsRegistry,
     PredictionLedger,
+    Profiler,
+    diff_bench,
     diff_snapshots,
     export_snapshot,
+    load_bench,
     load_snapshot,
     prometheus_text,
+    render_bench_diff,
     render_diff,
 )
 
@@ -151,3 +156,85 @@ class TestDiff:
         diff = diff_snapshots(a, b)
         assert diff["calibration"]["insitu_time"]["mape_b"] is None
         assert "-" in render_diff(diff)
+
+
+def _profiler():
+    profiler = Profiler()
+    with profiler.span("workflow.run"):
+        with profiler.span("sim.run"):
+            pass
+    return profiler
+
+
+class TestProfileExport:
+    def test_prometheus_emits_span_series(self):
+        text = prometheus_text(profiler=_profiler())
+        assert "# TYPE repro_span_calls_total counter" in text
+        assert 'repro_span_calls_total{span="workflow.run"} 1' in text
+        assert 'repro_span_seconds_total{span="workflow.run/sim.run"}' in text
+        assert 'repro_span_self_seconds_total{span="workflow.run"}' in text
+
+    def test_snapshot_carries_the_span_dump(self):
+        profiler = _profiler()
+        payload = export_snapshot(profiler=profiler)
+        assert payload["schema"] == SNAPSHOT_SCHEMA
+        assert payload["profile"] == profiler.dump()
+        assert load_snapshot(payload) == payload
+
+    def test_snapshot_without_profiler_has_empty_profile(self):
+        assert export_snapshot()["profile"] == {}
+
+    def test_version_1_snapshots_still_load(self):
+        legacy = {"schema": "repro.observability.snapshot/1", "label": "old",
+                  "metrics": {}, "calibration": {}, "regret": {},
+                  "placements": {}, "ledger": {}}
+        loaded = load_snapshot(legacy)
+        assert loaded["label"] == "old"
+        assert "profile" not in loaded
+
+
+def _bench_snapshot(schema=BENCH_SCHEMA, figures=None, spans=None, rev="r"):
+    payload = {"schema": schema, "git_rev": rev,
+               "figures": figures if figures is not None else {"fig1": 1.0}}
+    if spans is not None:
+        payload["profile"] = {
+            "workload": {"mode": "global", "steps": 20, "seed": 42},
+            "spans": spans,
+        }
+    return payload
+
+
+class TestBenchDiffSpans:
+    SPANS_A = {"workflow.run": {"count": 1, "cum_seconds": 2.0,
+                                "self_seconds": 0.5}}
+    SPANS_B = {"workflow.run": {"count": 1, "cum_seconds": 1.0,
+                                "self_seconds": 0.25},
+               "workflow.run/sim.run": {"count": 1, "cum_seconds": 0.5,
+                                        "self_seconds": 0.5}}
+
+    def test_span_drift_between_two_v2_snapshots(self):
+        diff = diff_bench(
+            _bench_snapshot(spans=self.SPANS_A, rev="old"),
+            _bench_snapshot(spans=self.SPANS_B, rev="new"),
+        )
+        run = diff["spans"]["workflow.run"]
+        assert run["delta"] == pytest.approx(-1.0)
+        assert run["speedup"] == pytest.approx(2.0)
+        # A span present on only one side renders as a dash, not a crash.
+        sim = diff["spans"]["workflow.run/sim.run"]
+        assert sim["cum_a"] is None and sim["delta"] is None
+        text = render_bench_diff(diff)
+        assert "profile span drift" in text
+        assert "workflow.run" in text
+
+    def test_version_1_snapshot_on_either_side_yields_no_span_section(self):
+        old = _bench_snapshot(schema="repro.bench/1")
+        new = _bench_snapshot(spans=self.SPANS_B)
+        assert load_bench(old)["schema"] == "repro.bench/1"
+        diff = diff_bench(old, new)
+        assert diff["spans"] == {}
+        assert "profile span drift" not in render_bench_diff(diff)
+
+    def test_unknown_bench_schema_rejected(self):
+        with pytest.raises(ObservabilityError, match="schema"):
+            load_bench(_bench_snapshot(schema="repro.bench/99"))

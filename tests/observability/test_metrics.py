@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import ObservabilityError
-from repro.observability import METRIC_NAMES, MetricsRegistry
+from repro.observability import METRIC_NAMES, MetricsRegistry, merge_worker_metrics
 
 
 class TestCounter:
@@ -82,6 +82,78 @@ class TestRegistry:
         registry.timer("lat").observe(0.5)
         text = registry.render()
         assert "hits" in text and "lat" in text and "n=1" in text
+
+
+class TestMergeWorkerMetrics:
+    def test_counters_sum_and_gauges_take_the_last_dump(self):
+        parent = MetricsRegistry()
+        parent.counter("hits").inc(1)
+        merge_worker_metrics(parent, [
+            {"hits": {"kind": "counter", "value": 2.0},
+             "mem": {"kind": "gauge", "value": 5.0}},
+            {"mem": {"kind": "gauge", "value": 3.0}},
+        ])
+        assert parent.counter("hits").value == 3.0
+        assert parent.gauge("mem").value == 3.0
+
+    def test_empty_dumps_are_a_noop(self):
+        parent = MetricsRegistry()
+        parent.counter("hits").inc(2)
+        before = parent.dump()
+        merge_worker_metrics(parent, [])
+        merge_worker_metrics(parent, [{}, {}])
+        assert parent.dump() == before
+
+    def test_timer_merge_is_a_count_weighted_average(self):
+        parent = MetricsRegistry()
+        merge_worker_metrics(parent, [
+            {"lat": {"kind": "timer", "value": 10.0, "count": 1,
+                     "total": 10.0, "alpha": 0.3}},
+            {"lat": {"kind": "timer", "value": 40.0, "count": 3,
+                     "total": 120.0, "alpha": 0.3}},
+        ])
+        timer = parent.timer("lat")
+        assert timer.value == pytest.approx(32.5)  # (1*10 + 3*40) / 4
+        assert timer.count == 4
+        assert timer.total == pytest.approx(130.0)
+
+    def test_timer_merge_is_order_independent_but_gauges_are_not(self):
+        d1 = {"lat": {"kind": "timer", "value": 10.0, "count": 2,
+                      "total": 20.0, "alpha": 0.3},
+              "mem": {"kind": "gauge", "value": 1.0}}
+        d2 = {"lat": {"kind": "timer", "value": 20.0, "count": 2,
+                      "total": 40.0, "alpha": 0.3},
+              "mem": {"kind": "gauge", "value": 2.0}}
+        forward = merge_worker_metrics(MetricsRegistry(), [d1, d2])
+        reverse = merge_worker_metrics(MetricsRegistry(), [d2, d1])
+        assert forward.timer("lat").value == reverse.timer("lat").value
+        assert forward.timer("lat").count == reverse.timer("lat").count
+        assert forward.gauge("mem").value == 2.0
+        assert reverse.gauge("mem").value == 1.0
+
+    def test_idle_worker_timer_does_not_dilute_the_parent(self):
+        parent = MetricsRegistry()
+        parent.timer("lat").observe(10.0)
+        merge_worker_metrics(parent, [
+            {"lat": {"kind": "timer", "value": 0.0, "count": 0,
+                     "total": 0.0, "alpha": 0.3}},
+        ])
+        assert parent.timer("lat").value == 10.0
+        assert parent.timer("lat").count == 1
+
+    def test_conflicting_instrument_kind_is_an_error(self):
+        parent = MetricsRegistry()
+        parent.counter("x").inc()
+        with pytest.raises(ObservabilityError):
+            merge_worker_metrics(
+                parent, [{"x": {"kind": "gauge", "value": 1.0}}]
+            )
+
+    def test_unknown_kind_is_an_error(self):
+        with pytest.raises(ObservabilityError, match="unknown kind"):
+            merge_worker_metrics(
+                MetricsRegistry(), [{"x": {"kind": "histogram", "value": 1.0}}]
+            )
 
 
 class TestNameRegistry:

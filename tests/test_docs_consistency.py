@@ -19,10 +19,14 @@ import repro.observability as observability
 from repro.__main__ import EXPERIMENTS, SUBCOMMANDS
 from repro.faults import FAULT_KINDS, SCENARIOS
 from repro.observability import (
+    BENCH_SCHEMA,
+    BUDGETS_SCHEMA,
     EVENT_KINDS,
     METRIC_NAMES,
+    PROFILE_SPANS,
     QUANTITIES,
     SNAPSHOT_SCHEMA,
+    load_budgets,
 )
 from repro.workflow.triggers import TRIGGER_POLICIES
 
@@ -31,6 +35,7 @@ OBSERVABILITY_DOC = REPO / "docs" / "observability.md"
 PERFORMANCE_DOC = REPO / "docs" / "performance.md"
 FAULTS_DOC = REPO / "docs" / "faults.md"
 TRIGGERS_DOC = REPO / "docs" / "triggers.md"
+PROFILING_DOC = REPO / "docs" / "profiling.md"
 
 
 @pytest.fixture(scope="module")
@@ -182,6 +187,51 @@ class TestFaultDocs:
         text = PERFORMANCE_DOC.read_text()
         assert "cache_token" in text
         assert "FaultPlan" in text
+
+
+class TestProfilingDocs:
+    @pytest.fixture(scope="class")
+    def profiling_doc(self) -> str:
+        assert PROFILING_DOC.exists(), "docs/profiling.md is missing"
+        return PROFILING_DOC.read_text()
+
+    def test_every_registered_span_documented(self, profiling_doc):
+        missing = [name for name in PROFILE_SPANS
+                   if f"`{name}`" not in profiling_doc]
+        assert not missing, f"undocumented profile spans: {missing}"
+
+    def test_every_registered_span_has_description(self):
+        empty = [name for name, description in PROFILE_SPANS.items()
+                 if not description.strip()]
+        assert not empty, f"profile spans without a description: {empty}"
+
+    def test_budget_manifest_guards_only_registered_spans(self):
+        manifest = load_budgets(REPO / "benchmarks" / "budgets.json")
+        # load_budgets already validates the segments; pin the workload
+        # to the canonical quickstart the docs and CLI describe.
+        assert manifest["workload"] == {"mode": "global", "steps": 20,
+                                       "seed": 42}
+
+    def test_schemas_documented(self, profiling_doc):
+        assert BUDGETS_SCHEMA in profiling_doc, (
+            f"budget schema string {BUDGETS_SCHEMA!r} must appear in "
+            "docs/profiling.md"
+        )
+        assert BENCH_SCHEMA in profiling_doc, (
+            f"bench schema string {BENCH_SCHEMA!r} must appear in "
+            "docs/profiling.md"
+        )
+
+    def test_profile_cli_and_bench_enforcement_documented(
+            self, profiling_doc):
+        assert "repro profile" in profiling_doc
+        assert "--budgets" in profiling_doc
+        assert "bench_profile.py" in profiling_doc
+        assert "budgets.json" in profiling_doc
+
+    def test_linked_from_readme_and_architecture(self):
+        assert "profiling.md" in (REPO / "README.md").read_text()
+        assert "profiling.md" in (REPO / "docs" / "architecture.md").read_text()
 
 
 class TestTriggerDocs:

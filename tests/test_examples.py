@@ -40,6 +40,13 @@ class TestExamples:
         assert "82 probes" in out
         assert "sampling cost halved at equal quality: YES" in out
 
+    def test_profiling(self, capsys):
+        out = run_example("profiling.py", capsys)
+        assert "attributed to spans" in out
+        assert "workflow.run" in out
+        assert "merged one worker profile" in out
+        assert "every span registered and within budget: YES" in out
+
     def test_all_examples_exist_and_have_docstrings(self):
         scripts = sorted(EXAMPLES.glob("*.py"))
         assert len(scripts) >= 7
