@@ -65,6 +65,12 @@ def compress_field(field: np.ndarray, tolerance: float = 1e-3) -> CompressedFiel
         return CompressedField(payload, field.shape, lo, 0.0, tolerance)
     # Quantization step 2*eps guarantees |x - round(x)| <= eps.
     step = 2.0 * tolerance * span
+    if step == 0.0:
+        # Subnormal span: the step underflowed to exactly 0.0, so the
+        # quantizer would divide by zero.  The span itself is below any
+        # representable error bound -- store the field as constant.
+        payload = zlib.compress(b"", level=6)
+        return CompressedField(payload, field.shape, lo, 0.0, tolerance)
     codes = np.round((field - lo) / step)
     max_code = int(codes.max())
     dtype = np.uint16 if max_code < 2**16 else np.uint32

@@ -1,10 +1,12 @@
 """Simulated HPC machine substrate.
 
 This package substitutes for the leadership-class systems the paper ran on
-(Intrepid IBM BG/P and Titan Cray XK7).  It provides a deterministic
-discrete-event simulation kernel (:mod:`repro.hpc.event`), waitable
-resources (:mod:`repro.hpc.resources`), a machine model with nodes, cores
-and memory accounting (:mod:`repro.hpc.machine`), an interconnect model
+(Intrepid IBM BG/P and Titan Cray XK7).  It provides a typed
+discrete-event engine over an array-backed heap (:mod:`repro.hpc.kernel`,
+see ``docs/kernel.md``), the deterministic generator-process adapter on
+top of it (:mod:`repro.hpc.event`), waitable resources
+(:mod:`repro.hpc.resources`), a machine model with nodes, cores and
+memory accounting (:mod:`repro.hpc.machine`), an interconnect model
 with processor-sharing bandwidth allocation (:mod:`repro.hpc.network`),
 interconnect topologies (:mod:`repro.hpc.topology`) and calibrated presets
 for the two systems used in the paper (:mod:`repro.hpc.systems`).
@@ -19,6 +21,17 @@ from repro.hpc.event import (
     Simulator,
     Timeout,
 )
+from repro.hpc.kernel import (
+    KERNEL_EVENT_KINDS,
+    EventHeap,
+    EventKernel,
+    KernelCounters,
+    ReferenceEventHeap,
+    batched_event_kinds,
+    event_kind_code,
+    event_kind_name,
+    register_event_kind,
+)
 from repro.hpc.machine import CoreAllocation, Machine, MemoryPool, Node, Partition
 from repro.hpc.network import Link, Network, Transfer
 from repro.hpc.resources import Resource, Store
@@ -29,7 +42,11 @@ __all__ = [
     "AnyOf",
     "CoreAllocation",
     "Event",
+    "EventHeap",
+    "EventKernel",
     "Interrupt",
+    "KERNEL_EVENT_KINDS",
+    "KernelCounters",
     "Link",
     "Machine",
     "MemoryPool",
@@ -37,13 +54,18 @@ __all__ = [
     "Node",
     "Partition",
     "Process",
+    "ReferenceEventHeap",
     "Resource",
     "Simulator",
     "Store",
     "SystemSpec",
     "Timeout",
     "Transfer",
+    "batched_event_kinds",
     "build_workflow_machine",
+    "event_kind_code",
+    "event_kind_name",
     "intrepid",
+    "register_event_kind",
     "titan",
 ]

@@ -1,31 +1,44 @@
-"""Deterministic discrete-event simulation kernel.
+"""Deterministic discrete-event simulation: the generator-process adapter.
 
-The kernel drives every performance experiment in this repository: the
-coupled workflow driver, the staging substrate and the network model are
-all cooperative processes scheduled by a single :class:`Simulator`.
+The waitable API every component programs against -- :class:`Simulator`,
+:class:`Process`, :class:`Event`, :class:`Timeout`, the combinators --
+is a thin adapter over the typed event engine in
+:mod:`repro.hpc.kernel` (see ``docs/kernel.md`` for the layering).  The
+kernel owns the clock, the array-backed event heap, the per-kind
+counters and the injected RNG; this module owns generator processes,
+callbacks and failure propagation.
 
 The design follows the classic event-list pattern (and will feel familiar
 to SimPy users) but is intentionally small and fully deterministic:
 
-- :class:`Simulator` owns the clock and a heap-ordered event list.  Ties in
-  time are broken by insertion order, so a run is a pure function of its
-  inputs.
+- :class:`Simulator` schedules typed event records on the kernel and
+  drains them one at a time.  **Tie-breaking contract:** events at the
+  same timestamp fire in submission order -- the kernel orders records
+  by ``(time, seq)`` with a monotonically increasing ``seq``, so a run
+  is a pure function of its inputs.  The array-backed heap and the
+  heapq-based reference heap implement the same contract; the property
+  suite replays event soups on both and the regression suite diffs whole
+  workflow traces byte-for-byte.
 - :class:`Process` wraps a Python generator.  The generator *yields*
   waitables (:class:`Timeout`, :class:`Event`, another :class:`Process`,
   :class:`AllOf`, :class:`AnyOf`) and is resumed when the waitable fires.
 - :class:`Event` is a one-shot triggerable with a value; failing an event
   propagates the exception into every waiter.
 
-There is no wall-clock or thread anywhere in the kernel.
+Domain components tag the events they schedule (``kind="compute"``,
+``"transfer"``, ``"staging"``) so the kernel's counters attribute event
+traffic per layer; untagged engine bookkeeping is ``control`` and plain
+timeouts are ``timer``.  There is no wall-clock or thread anywhere in
+the kernel.
 """
 
 from __future__ import annotations
 
-import heapq
 from collections.abc import Callable, Generator, Iterable
 from typing import Any
 
 from repro.errors import SimulationError
+from repro.hpc.kernel import EventKernel, event_kind_code
 
 __all__ = [
     "AllOf",
@@ -38,6 +51,9 @@ __all__ = [
 ]
 
 _PENDING = object()
+
+_CONTROL = event_kind_code("control")
+_TIMER = event_kind_code("timer")
 
 
 class Interrupt(Exception):
@@ -121,14 +137,20 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that fires automatically ``delay`` seconds in the future."""
+    """An event that fires automatically ``delay`` seconds in the future.
 
-    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+    ``kind`` tags the scheduled record for the kernel's per-kind
+    counters; domain components pass ``"compute"``/``"staging"`` so
+    event traffic is attributable per layer.
+    """
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None,
+                 kind: int | str = _TIMER):
         if delay < 0:
             raise SimulationError(f"negative timeout delay: {delay}")
         super().__init__(sim, name=f"timeout({delay:g})")
         self.delay = float(delay)
-        sim._schedule_at(sim.now + self.delay, self._fire, value)
+        sim._schedule_at(sim.now + self.delay, self._fire, value, kind=kind)
 
     def _fire(self, value: Any) -> None:
         if not self.triggered:
@@ -269,7 +291,14 @@ class AnyOf(Event):
 
 
 class Simulator:
-    """Owns the simulated clock and runs the event loop.
+    """The generator-process adapter over :class:`~repro.hpc.kernel.EventKernel`.
+
+    Owns no clock and no heap of its own: scheduling pushes typed
+    ``(time, seq, kind, payload)`` records onto the kernel and the run
+    loop drains them one at a time through
+    :meth:`~repro.hpc.kernel.EventKernel.dispatch_next`, preserving the
+    pre-kernel semantics bit-for-bit (per-event orphan-failure barrier
+    included).  Payloads on this path are ``(func, args)`` pairs.
 
     Typical use::
 
@@ -282,12 +311,23 @@ class Simulator:
         proc = sim.process(worker(sim))
         sim.run()
         assert sim.now == 1.5 and proc.value == "done"
+
+    **Determinism / tie-breaking.**  Events scheduled for the same
+    timestamp fire in submission order: the kernel's heap orders records
+    by ``(time, seq)`` and ``seq`` increases monotonically with each
+    :meth:`_schedule_at` call.  This holds identically for the
+    array-backed heap and the reference heap (swap via
+    ``EventKernel.heap_class``), so traces are byte-identical across
+    heap implementations.
     """
 
-    def __init__(self, faults: Any = None, profiler: Any = None):
-        self._now = 0.0
-        self._heap: list[tuple[float, int, Callable[[], None]]] = []
-        self._counter = 0
+    def __init__(self, faults: Any = None, profiler: Any = None, rng: Any = None):
+        self.kernel = EventKernel(rng=rng, profiler=profiler)
+        self._invoke = self._call_payload
+        # Every kind dispatches the closure payload un-batched on this
+        # path: batch dispatch would break the per-event failure barrier.
+        for name in ("control", "timer", "compute", "transfer", "staging"):
+            self.kernel.on(name, self._call_payload, batch=False)
         self._unhandled: list[tuple[Process, BaseException]] = []
         # Optional fault injector (repro.faults.FaultInjector); duck-typed
         # so the kernel stays free of upward imports.
@@ -302,7 +342,12 @@ class Simulator:
     @property
     def now(self) -> float:
         """The current simulated time in seconds."""
-        return self._now
+        return self.kernel.now
+
+    @property
+    def rng(self):
+        """The kernel's injected ``numpy.random.Generator``."""
+        return self.kernel.rng
 
     # -- factory helpers -------------------------------------------------
 
@@ -310,9 +355,10 @@ class Simulator:
         """Create a fresh pending :class:`Event`."""
         return Event(self, name=name)
 
-    def timeout(self, delay: float, value: Any = None) -> Timeout:
+    def timeout(self, delay: float, value: Any = None,
+                kind: int | str = _TIMER) -> Timeout:
         """Create a :class:`Timeout` firing ``delay`` seconds from now."""
-        return Timeout(self, delay, value)
+        return Timeout(self, delay, value, kind=kind)
 
     def process(self, generator: Generator, name: str = "") -> Process:
         """Start a new :class:`Process` from a generator."""
@@ -328,14 +374,22 @@ class Simulator:
 
     # -- scheduling internals --------------------------------------------
 
-    def _schedule_at(self, when: float, func: Callable, *args: Any) -> None:
-        if when < self._now:
-            raise SimulationError(f"cannot schedule in the past ({when} < {self._now})")
-        self._counter += 1
-        heapq.heappush(self._heap, (when, self._counter, lambda: func(*args)))
+    def _call_payload(self, payload: tuple[Callable, tuple]) -> None:
+        func, args = payload
+        func(*args)
+
+    def _schedule_at(self, when: float, func: Callable, *args: Any,
+                     kind: int | str = _CONTROL) -> None:
+        """Schedule ``func(*args)`` at simulated time ``when``.
+
+        Same-``when`` calls run in the order they were scheduled (the
+        kernel's ``seq`` tie-break); scheduling in the past raises.
+        """
+        code = kind if type(kind) is int else event_kind_code(kind)
+        self.kernel.schedule(when, code, (func, args))
 
     def _schedule_call(self, func: Callable[[], None]) -> None:
-        self._schedule_at(self._now, func)
+        self.kernel.schedule(self.kernel.now, _CONTROL, (func, ()))
 
     def _queue_callbacks(self, event: Event) -> None:
         callbacks, event._callbacks = event._callbacks, []
@@ -367,23 +421,22 @@ class Simulator:
     def _run_loop(self, until: float | Event | None) -> Any:
         stop_event: Event | None = None
         horizon: float | None = None
+        kernel = self.kernel
         if isinstance(until, Event):
             stop_event = until
         elif until is not None:
             horizon = float(until)
-            if horizon < self._now:
-                raise SimulationError(f"run(until={horizon}) is in the past (now={self._now})")
+            if horizon < kernel.now:
+                raise SimulationError(f"run(until={horizon}) is in the past (now={kernel.now})")
 
-        while self._heap:
+        heap = kernel.heap
+        while len(heap):
             if stop_event is not None and stop_event.triggered:
                 break
-            when, _, call = self._heap[0]
-            if horizon is not None and when > horizon:
-                self._now = horizon
+            if horizon is not None and heap.peek_time() > horizon:
+                kernel.now = horizon
                 break
-            heapq.heappop(self._heap)
-            self._now = when
-            call()
+            kernel.dispatch_next()
             self._raise_orphan_failures()
 
         self._raise_orphan_failures()
@@ -395,7 +448,7 @@ class Simulator:
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if the list is empty."""
-        return self._heap[0][0] if self._heap else float("inf")
+        return self.kernel.peek()
 
     def _raise_orphan_failures(self) -> None:
         if self._unhandled:

@@ -69,6 +69,8 @@ METRIC_NAMES: dict[str, str] = {
     "assembled on a trigger-driven run",
     "monitor.sampling_budget_used": "counter: per-rank indicator probes "
     "spent by trigger policies (the percentile-sampling budget)",
+    "kernel.events_processed": "counter: typed kernel events dispatched "
+    "over a workflow run (the engine layer's always-on tally)",
 }
 
 

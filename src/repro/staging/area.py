@@ -424,7 +424,7 @@ class StagingArea:
                         work_units=job.work_units,
                     )
                 try:
-                    yield self.sim.timeout(duration)
+                    yield self.sim.timeout(duration, kind="staging")
                 except Interrupt as interrupt:
                     # Core loss aborted the pass; the partial service is
                     # real core time, and the job re-runs from the staged

@@ -226,6 +226,13 @@ class CoupledWorkflow:
             )
         main = self.sim.process(self._simulation(), name="simulation")
         self.sim.run(main)
+        if self.metrics is not None:
+            # The kernel's always-on tallies, published once per run so
+            # dashboards see event traffic without polling the kernel.
+            counters = self.sim.kernel.counters
+            self.metrics.counter("kernel.events_processed").inc(
+                counters.total_processed
+            )
         if self.tracer is not None and self.tracer.enabled:
             self.tracer.emit(
                 RUN_END,
@@ -298,7 +305,7 @@ class CoupledWorkflow:
                     cells=record.cells,
                     data_bytes=record.data_bytes,
                 )
-            yield self.sim.timeout(sim_seconds)
+            yield self.sim.timeout(sim_seconds, kind="compute")
             self.monitor.observe_sim_step(sim_seconds)
             self._total_sim_seconds += sim_seconds
 
@@ -352,7 +359,7 @@ class CoupledWorkflow:
                 reduce_seconds = record.cells * cfg.reduce_cost_per_cell / (
                     rate * n_cores
                 )
-                yield self.sim.timeout(reduce_seconds)
+                yield self.sim.timeout(reduce_seconds, kind="compute")
                 insitu_seconds += reduce_seconds
 
             if decision.staging_cores is not None:
@@ -409,7 +416,7 @@ class CoupledWorkflow:
                         self.monitor.estimate_insitu(insitu_work, n_cores),
                         mechanism="monitor",
                     )
-                yield self.sim.timeout(analysis_seconds)
+                yield self.sim.timeout(analysis_seconds, kind="compute")
                 metric.insitu_seconds += analysis_seconds
                 if insitu_work > 0:
                     self.monitor.observe_insitu(insitu_work, n_cores,
@@ -455,7 +462,7 @@ class CoupledWorkflow:
                         mechanism="monitor",
                     )
                     self._record_placement(record.step, "in_situ", out_work)
-                yield self.sim.timeout(analysis_seconds)
+                yield self.sim.timeout(analysis_seconds, kind="compute")
                 metric.insitu_seconds += analysis_seconds
                 metric.analysis_done_at = self.sim.now
                 self.monitor.observe_insitu(out_work, n_cores, analysis_seconds)
@@ -529,7 +536,7 @@ class CoupledWorkflow:
         for metric, nbytes, work in self._post_tasks:
             yield self.pfs.read("staging", nbytes)
             analysis_seconds = work / (rate * m_cores)
-            yield self.sim.timeout(analysis_seconds)
+            yield self.sim.timeout(analysis_seconds, kind="compute")
             self._post_busy_core_seconds += analysis_seconds * m_cores
             metric.analysis_done_at = self.sim.now
 

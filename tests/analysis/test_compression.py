@@ -35,6 +35,19 @@ class TestRoundtrip:
         field = np.arange(24.0).reshape(2, 3, 4)
         assert decompress_field(compress_field(field, 0.01)).shape == (2, 3, 4)
 
+    def test_subnormal_span_stored_as_constant(self):
+        # Regression: a span so small that step = 2*tol*span underflows
+        # to exactly 0.0 used to divide by zero and NaN the codes.  The
+        # field must round-trip as a constant within the usual slack.
+        field = np.array([[5e-324, 0.0, 0.0, 0.0]])
+        comp = compress_field(field, 1e-4)
+        assert comp.step == 0.0
+        recon = decompress_field(comp)
+        assert recon.shape == field.shape
+        assert np.isfinite(recon).all()
+        span = field.max() - field.min()
+        assert np.abs(recon - field).max() <= 1e-4 * span + 1e-9
+
     def test_wide_range_uses_uint32(self):
         # A very tight tolerance forces > 2^16 quantization codes.
         field = np.linspace(0, 1, 100_000)

@@ -47,6 +47,13 @@ class TestExamples:
         assert "merged one worker profile" in out
         assert "every span registered and within budget: YES" in out
 
+    def test_kernel_scaling(self, capsys):
+        out = run_example("kernel_scaling.py", capsys)
+        assert "Kernel weak-scaling sweep" in out
+        assert "65,536" in out
+        assert "events/s" in out
+        assert "events/sec attribution intact at every scale: YES" in out
+
     def test_all_examples_exist_and_have_docstrings(self):
         scripts = sorted(EXAMPLES.glob("*.py"))
         assert len(scripts) >= 7
