@@ -19,6 +19,9 @@ Usage::
     python -m repro triggers --steps 20 --scenario blackout
     python -m repro profile --steps 20
     python -m repro profile --budgets benchmarks/budgets.json
+    python -m repro tenants --list
+    python -m repro tenants --policy smallest --tenants 4
+    python -m repro tenants --smoke
 
 ``run-all`` regenerates experiments through the parallel sweep runner
 (:mod:`repro.experiments.parallel`): each experiment's parameter grid is
@@ -60,6 +63,14 @@ fault-free or under a named fault scenario -- and prints the
 monitoring-overhead vs adaptation-lag table (the interactive face of
 the ``fig_triggers`` sweep).  See ``docs/triggers.md``.
 
+``tenants`` admits several coupled workflows onto ONE shared simulated
+machine through the multi-tenant service (:mod:`repro.service`) and
+prints the fleet SLO table: per-policy time-to-solution degradation vs
+the solo baseline, queue waits, starvations and Jain fairness (the
+interactive face of the ``fig_tenants`` sweep).  ``--smoke`` runs the
+short two-tenant point the CI ``tenant-smoke`` job checks.  See
+``docs/service.md``.
+
 ``profile`` replays the quickstart workload with a
 :class:`~repro.observability.Profiler` injected and prints the span
 tree (call counts, cumulative and self wall-clock seconds per span
@@ -81,7 +92,7 @@ __all__ = ["SUBCOMMANDS", "main"]
 
 #: Non-experiment subcommands (the docs-consistency test keys off this).
 SUBCOMMANDS = ("list", "all", "run-all", "trace", "audit", "bench-diff",
-               "faults", "triggers", "profile")
+               "faults", "triggers", "profile", "tenants")
 
 
 def _fig1() -> str:
@@ -162,6 +173,12 @@ def _fig_triggers() -> str:
     return fig_triggers.render(fig_triggers.run_fig_triggers())
 
 
+def _fig_tenants() -> str:
+    from repro.experiments import fig_tenants
+
+    return fig_tenants.render(fig_tenants.run_fig_tenants())
+
+
 EXPERIMENTS: dict[str, tuple[str, Callable[[], str]]] = {
     "fig1": ("peak-memory distribution, Polytropic Gas", _fig1),
     "fig4": ("placement decision timeline", _fig4),
@@ -177,6 +194,8 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[], str]]] = {
     "objectives": ("user-preference trade-off comparison", _objectives),
     "fig_triggers": ("monitoring overhead vs adaptation lag across "
                      "trigger policies", _fig_triggers),
+    "fig_tenants": ("multi-tenant contention across admission policies",
+                    _fig_tenants),
 }
 
 
@@ -527,6 +546,83 @@ def _triggers_command(argv: list[str]) -> int:
     return 0
 
 
+def _tenants_command(argv: list[str]) -> int:
+    """The ``repro tenants`` subcommand: shared-machine contention."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro tenants",
+        description="Admit several coupled workflows onto one shared "
+        "machine under an admission policy and print the fleet's SLO "
+        "table: time-to-solution degradation vs the solo baseline, "
+        "queue waits, starvations, and Jain fairness over slowdowns.",
+    )
+    parser.add_argument("--list", action="store_true", dest="list_policies",
+                        help="list the admission policies and exit")
+    parser.add_argument("--policy", default=None,
+                        help="run only this admission policy "
+                        "(default: sweep all; see --list)")
+    parser.add_argument("--tenants", type=int, default=None, metavar="N",
+                        help="run only the N-tenant point "
+                        "(default: sweep 1, 2 and 4)")
+    parser.add_argument("--steps", type=int, default=None,
+                        help="per-tenant workload length in steps "
+                        "(default: 10)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI smoke: one short fifo 2-tenant point, "
+                        "checked for completion and queue accounting")
+    args = parser.parse_args(argv)
+
+    from repro.service import ADMISSION_POLICIES
+
+    if args.list_policies:
+        width = max(len(name) for name in ADMISSION_POLICIES)
+        for name, description in ADMISSION_POLICIES.items():
+            print(f"{name.ljust(width)}  {description}")
+        return 0
+
+    from repro.experiments import fig_tenants
+
+    if args.smoke:
+        row = fig_tenants.run_point(
+            {"policy": "fifo", "tenants": 2, "steps": 6}
+        )
+        print(fig_tenants.render(fig_tenants.merge([
+            fig_tenants.run_point(
+                {"policy": "fifo", "tenants": 1, "steps": 6}
+            ),
+            row,
+        ])))
+        ok = row.makespan > 0 and row.mean_tts > 0
+        print(f"\ntenant smoke: {'OK' if ok else 'FAILED'} "
+              f"(2 tenants served, makespan {row.makespan:.1f}s)")
+        return 0 if ok else 1
+
+    if args.policy is not None and args.policy not in ADMISSION_POLICIES:
+        known = ", ".join(sorted(ADMISSION_POLICIES))
+        parser.error(f"unknown admission policy {args.policy!r} "
+                     f"(known: {known})")
+
+    policies = (
+        (args.policy,) if args.policy is not None
+        else fig_tenants.POLICY_NAMES
+    )
+    counts = (
+        (args.tenants,) if args.tenants is not None
+        else fig_tenants.TENANT_COUNTS
+    )
+    if any(count < 1 for count in counts):
+        parser.error("--tenants must be >= 1")
+    steps = args.steps if args.steps is not None else fig_tenants.STEPS
+    rows = [
+        fig_tenants.run_point(
+            {"policy": policy, "tenants": count, "steps": steps}
+        )
+        for policy in policies
+        for count in counts
+    ]
+    print(fig_tenants.render(fig_tenants.merge(rows)))
+    return 0
+
+
 def _profile_command(argv: list[str]) -> int:
     """The ``repro profile`` subcommand: span profile of a quickstart run."""
     parser = argparse.ArgumentParser(
@@ -639,6 +735,8 @@ def main(argv: list[str] | None = None) -> int:
         return _triggers_command(argv[1:])
     if argv and argv[0] == "profile":
         return _profile_command(argv[1:])
+    if argv and argv[0] == "tenants":
+        return _tenants_command(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -647,8 +745,8 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "experiment",
         help="experiment id (see 'list'), 'all', 'run-all', 'list', "
-        "'trace', 'audit', 'bench-diff', 'faults', 'triggers', or "
-        "'profile'",
+        "'trace', 'audit', 'bench-diff', 'faults', 'triggers', "
+        "'profile', or 'tenants'",
     )
     args = parser.parse_args(argv)
 
@@ -673,6 +771,9 @@ def main(argv: list[str] | None = None) -> int:
         print(f"{'profile'.ljust(width)}  span profile of a quickstart "
               "run: where host wall time goes, budget check "
               "(see 'profile --help')")
+        print(f"{'tenants'.ljust(width)}  multi-tenant service: "
+              "contention, queue waits and fairness on a shared machine "
+              "(see 'tenants --help')")
         return 0
 
     if args.experiment == "all":

@@ -52,3 +52,7 @@ class FaultError(ReproError):
 
 class ExperimentError(ReproError):
     """Raised by the experiment sweep runner (unknown ids, bad grids)."""
+
+
+class ServiceError(ReproError):
+    """Raised by the multi-tenant workflow service (admission, grants)."""

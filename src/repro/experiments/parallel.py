@@ -122,6 +122,8 @@ SWEEPS: dict[str, SweepSpec] = {
         SweepSpec("fig_triggers", "repro.experiments.fig_triggers",
                   "monitoring overhead vs adaptation lag across trigger "
                   "policies"),
+        SweepSpec("fig_tenants", "repro.experiments.fig_tenants",
+                  "multi-tenant contention across admission policies"),
     )
 }
 

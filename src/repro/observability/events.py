@@ -39,6 +39,13 @@ __all__ = [
     "STEP_END",
     "STEP_START",
     "SWEEP_POINT",
+    "TENANT_ADMITTED",
+    "TENANT_COMPLETED",
+    "TENANT_GRANT",
+    "TENANT_QUEUED",
+    "TENANT_REJECTED",
+    "TENANT_STARVED",
+    "TENANT_SUBMITTED",
     "TRIGGER_FIRED",
     "TRIGGER_RECALIBRATED",
     "TRIGGER_SUPPRESSED",
@@ -69,6 +76,13 @@ SWEEP_POINT = "sweep.point"
 TRIGGER_FIRED = "trigger.fired"
 TRIGGER_SUPPRESSED = "trigger.suppressed"
 TRIGGER_RECALIBRATED = "trigger.recalibrated"
+TENANT_SUBMITTED = "tenant.submitted"
+TENANT_QUEUED = "tenant.queued"
+TENANT_ADMITTED = "tenant.admitted"
+TENANT_REJECTED = "tenant.rejected"
+TENANT_GRANT = "tenant.grant"
+TENANT_STARVED = "tenant.starved"
+TENANT_COMPLETED = "tenant.completed"
 
 #: Every kind the built-in instrumentation emits, with a one-line meaning.
 EVENT_KINDS: dict[str, str] = {
@@ -102,6 +116,20 @@ EVENT_KINDS: dict[str, str] = {
     "(policy, reason, indicator value, sampling budget spent)",
     TRIGGER_RECALIBRATED: "the self-calibration loop adjusted trigger "
     "thresholds or the estimator bias from measured ledger feedback",
+    TENANT_SUBMITTED: "a tenant workflow arrived at the multi-tenant "
+    "service (name, requested cores)",
+    TENANT_QUEUED: "an arriving tenant entered the bounded admission "
+    "queue (queue depth)",
+    TENANT_ADMITTED: "a tenant was admitted onto the shared machine "
+    "(staging grant, queue wait)",
+    TENANT_REJECTED: "an arriving tenant was turned away (admission "
+    "queue full)",
+    TENANT_GRANT: "a tenant's staging grant was renegotiated against "
+    "the shared pool (borrowed or returned cores)",
+    TENANT_STARVED: "a queued tenant's wait crossed the starvation "
+    "threshold without being admitted",
+    TENANT_COMPLETED: "an admitted tenant finished (time to solution, "
+    "queue wait, grant)",
 }
 
 

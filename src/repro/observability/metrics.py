@@ -71,6 +71,22 @@ METRIC_NAMES: dict[str, str] = {
     "spent by trigger policies (the percentile-sampling budget)",
     "kernel.events_processed": "counter: typed kernel events dispatched "
     "over a workflow run (the engine layer's always-on tally)",
+    "service.tenants_admitted": "counter: tenant workflows admitted onto "
+    "the shared machine",
+    "service.tenants_rejected": "counter: tenant arrivals turned away "
+    "(admission queue full)",
+    "service.tenants_completed": "counter: admitted tenant workflows that "
+    "finished",
+    "service.queue_wait_seconds": "EMA timer: recent admission-queue "
+    "waits of admitted tenants",
+    "service.staging_committed_cores": "gauge: staging-pool cores "
+    "currently granted to tenants",
+    "service.grant_expansions": "counter: staging grants expanded by "
+    "borrowing uncommitted pool cores",
+    "service.grant_shrinks": "counter: staging grants shrunk back toward "
+    "their admission base",
+    "service.starvations": "counter: queued tenants whose wait crossed "
+    "the starvation threshold",
 }
 
 

@@ -1,0 +1,102 @@
+"""Bounded admission queue and its ordering policies.
+
+Arriving tenants enter the :class:`AdmissionController`'s bounded queue;
+whenever capacity frees (an arrival, or a completion), the service
+drains the queue in the order the configured policy dictates:
+
+- ``fifo`` -- arrival order with head-of-line blocking: the queue head
+  must fit before anything behind it is considered.  This is the
+  behaviour that *breaks* under contention (a wide tenant at the head
+  starves narrow ones behind it) and the baseline the other policies
+  are contrasted against.
+- ``smallest`` -- smallest staging footprint first (backfill): narrow
+  tenants slip past a blocked wide head, trading wide-tenant latency
+  for throughput.
+- ``fair_share`` -- least accumulated service first: candidates are
+  ordered by their user's accumulated staging core-seconds
+  (:attr:`~repro.service.scheduler.TenantScheduler.usage`), so a user
+  who has already consumed the pool yields to one who has not.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator
+
+from repro.errors import ServiceError
+
+__all__ = ["ADMISSION_POLICIES", "AdmissionController"]
+
+#: Policy name -> one-line description (the CLI's ``--policy`` choices).
+ADMISSION_POLICIES: dict[str, str] = {
+    "fifo": "arrival order, head-of-line blocking",
+    "smallest": "smallest staging footprint first (backfill)",
+    "fair_share": "least accumulated per-user staging service first",
+}
+
+
+class AdmissionController:
+    """A bounded queue of waiting tenants plus the drain ordering.
+
+    The controller holds opaque tenant records; the service supplies
+    accessors at drain time (footprint, user, fit check), so this module
+    stays free of workflow imports.
+    """
+
+    def __init__(self, policy: str = "fifo", max_queue: int | None = None):
+        if policy not in ADMISSION_POLICIES:
+            known = ", ".join(sorted(ADMISSION_POLICIES))
+            raise ServiceError(f"unknown admission policy {policy!r} "
+                               f"(known: {known})")
+        if max_queue is not None and max_queue < 0:
+            raise ServiceError(f"max_queue must be >= 0, got {max_queue}")
+        self.policy = policy
+        self.max_queue = max_queue
+        self._queue: list[Any] = []
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self._queue)
+
+    @property
+    def full(self) -> bool:
+        """True when another enqueue would exceed ``max_queue``."""
+        return self.max_queue is not None and len(self._queue) >= self.max_queue
+
+    def enqueue(self, tenant: Any) -> bool:
+        """Queue an arrival; False (untouched) when the queue is full."""
+        if self.full:
+            return False
+        self._queue.append(tenant)
+        return True
+
+    def pick(
+        self,
+        fits: Callable[[Any], bool],
+        footprint: Callable[[Any], int],
+        user: Callable[[Any], str],
+        usage: dict[str, float],
+    ) -> Any | None:
+        """Remove and return the next admissible tenant, or ``None``.
+
+        ``fits`` checks a candidate against current pool capacity;
+        ``footprint`` is its staging request; ``user``/``usage`` feed
+        the fair-share ordering.  FIFO considers only the queue head.
+        """
+        if not self._queue:
+            return None
+        if self.policy == "fifo":
+            candidates = self._queue[:1]
+        elif self.policy == "smallest":
+            # Stable: ties keep arrival order.
+            candidates = sorted(self._queue, key=footprint)
+        else:  # fair_share
+            candidates = sorted(
+                self._queue, key=lambda t: usage.get(user(t), 0.0)
+            )
+        for tenant in candidates:
+            if fits(tenant):
+                self._queue.remove(tenant)
+                return tenant
+        return None

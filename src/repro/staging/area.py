@@ -200,10 +200,13 @@ class StagingArea:
             raise StagingError(
                 f"active core count {count} outside [1, {self.total_cores}]"
             )
-        if self._failed_cores and self.healthy_cores >= 1:
+        if self._failed_cores:
             # Failed cores cannot be enabled; clamp silently so the
             # resource layer's sizing still applies after a core loss.
-            count = min(count, self.healthy_cores)
+            # At a total blackout the nominal active set is one core --
+            # service is suspended, so it is never used, and a resize
+            # racing the fault window cannot resurrect dead capacity.
+            count = min(count, max(1, self.healthy_cores))
         previous = self._active_cores
         self._account_alloc()
         self._active_cores = int(count)
@@ -212,6 +215,7 @@ class StagingArea:
             self.metrics.gauge("staging.active_cores").set(count)
         if self.tracer is not None and self.tracer.enabled and count != previous:
             self.tracer.emit(STAGING_RESIZE, cores=count, previous=previous)
+        self._check_invariants()
 
     def _account_alloc(self) -> None:
         now = self.sim.now
@@ -252,10 +256,11 @@ class StagingArea:
             return 0
         self._account_alloc()
         self._failed_cores += killed
-        if self.healthy_cores >= 1 and self._active_cores > self.healthy_cores:
-            self.set_active_cores(self.healthy_cores)
+        if self._active_cores > max(1, self.healthy_cores):
+            self.set_active_cores(max(1, self.healthy_cores))
         if self._running is not None and self._running.cores_used > self.healthy_cores:
             self._worker.interrupt("core loss")
+        self._check_invariants()
         return killed
 
     def restore_cores(self, count: int) -> int:
@@ -276,7 +281,34 @@ class StagingArea:
         if was_unreachable and self.reachable and self._restored is not None:
             restored, self._restored = self._restored, None
             restored.succeed()
+        self._check_invariants()
         return revived
+
+    def _check_invariants(self) -> None:
+        """Core-accounting invariant, asserted after every mutation.
+
+        ``active_cores <= healthy_cores <= total_cores`` whenever any
+        core is healthy; during a total blackout the nominal active set
+        is exactly one core (service is suspended, so it is never
+        consulted).  A violation means a resize and a fault window
+        interleaved incorrectly -- fail loudly rather than letting jobs
+        run on more cores than physically exist.
+        """
+        if not 0 <= self._failed_cores <= self.total_cores:
+            raise StagingError(
+                f"failed core count {self._failed_cores} outside "
+                f"[0, {self.total_cores}]"
+            )
+        if not 1 <= self._active_cores <= self.total_cores:
+            raise StagingError(
+                f"active core count {self._active_cores} outside "
+                f"[1, {self.total_cores}]"
+            )
+        if self._active_cores > max(1, self.healthy_cores):
+            raise StagingError(
+                f"staging core invariant violated: active {self._active_cores} "
+                f"> healthy {self.healthy_cores} (total {self.total_cores})"
+            )
 
     # -- job submission -----------------------------------------------------------
 

@@ -73,9 +73,18 @@ def retry_with_backoff(
     def _runner():
         started = sim.now
         last_error: BaseException | None = None
+        # The two exits are distinct: ``timed_out`` is set only when the
+        # deadline cut the loop short (before an attempt, or before a
+        # backoff sleep).  A final attempt that merely *consumed* time
+        # past the deadline still counts as exhaustion -- every
+        # configured attempt ran.
+        timed_out = False
+        attempts_run = 0
         for k in range(policy.max_attempts):
             if sim.now - started >= policy.timeout:
+                timed_out = True
                 break
+            attempts_run += 1
             try:
                 value = yield attempt(k)
             except StagingError as error:
@@ -90,14 +99,16 @@ def retry_with_backoff(
                 break
             delay = policy.delay(k)
             if sim.now - started + delay >= policy.timeout:
+                timed_out = True
                 break
             if on_retry is not None:
                 on_retry(k, delay)
             yield sim.timeout(delay)
-        if sim.now - started >= policy.timeout:
+        if timed_out:
             raise StagingError(
                 f"{describe}: retry timeout after {sim.now - started:g}s "
-                f"(policy timeout {policy.timeout:g}s)"
+                f"(policy timeout {policy.timeout:g}s, "
+                f"{attempts_run} of {policy.max_attempts} attempts ran)"
             ) from last_error
         raise StagingError(
             f"{describe}: retries exhausted after {policy.max_attempts} attempts"

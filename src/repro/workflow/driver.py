@@ -92,6 +92,22 @@ class CoupledWorkflow:
     for the catalog).  Unlike the tracer, the profiler measures *real*
     wall-clock seconds -- how long the host takes to replay simulated
     time -- so spans only ever enclose synchronous sections.
+
+    ``sim``, ``machine``/``network``, ``staging`` and ``pfs`` let an external
+    orchestrator -- the multi-tenant service (:mod:`repro.service`) --
+    inject shared infrastructure instead of having the workflow build
+    its own: the workflow then rides an existing simulator clock,
+    contends on a shared network, and runs against a staging area whose
+    core pool the orchestrator masks.  ``staging_resizer`` replaces the
+    driver's direct ``set_active_cores`` actuation with a negotiation
+    callback (the service clamps Eq. 9-10 grants by the shared pool's
+    uncommitted capacity), and ``staging_ceiling`` replaces the healthy
+    core count as the resource policy's sizing bound (the service
+    advertises grant + uncommitted pool, the negotiable headroom).
+    All default to ``None``; the default path is
+    bit-identical to builds before these hooks existed.  ``faults``
+    requires a dedicated simulator and cannot be combined with an
+    injected ``sim``.
     """
 
     def __init__(
@@ -104,6 +120,13 @@ class CoupledWorkflow:
         faults: FaultPlan | FaultInjector | None = None,
         trigger: TriggerPolicy | None = None,
         profiler: "Profiler | None" = None,
+        sim: Simulator | None = None,
+        machine=None,
+        network=None,
+        staging: StagingArea | None = None,
+        staging_resizer=None,
+        staging_ceiling=None,
+        pfs: ParallelFileSystem | None = None,
     ):
         if not len(trace):
             raise WorkflowError("trace has no steps")
@@ -113,7 +136,14 @@ class CoupledWorkflow:
         if isinstance(faults, FaultPlan):
             faults = FaultInjector(faults, tracer=tracer, metrics=metrics)
         self.faults = faults
-        self.sim = Simulator(faults=faults, profiler=profiler)
+        if sim is None:
+            sim = Simulator(faults=faults, profiler=profiler)
+        elif faults is not None:
+            raise WorkflowError(
+                "per-workflow fault plans need a dedicated simulator; "
+                "attach faults to the shared simulator instead"
+            )
+        self.sim = sim
         self.tracer = tracer
         self.metrics = metrics
         self.ledger = ledger
@@ -125,33 +155,51 @@ class CoupledWorkflow:
             tracer.bind_clock(lambda: self.sim.now)
         if ledger is not None:
             ledger.bind_clock(lambda: self.sim.now)
-        self.machine, self.network = build_workflow_machine(
-            self.sim, config.spec, config.sim_cores, config.staging_cores
-        )
-        staging_partition = self.machine.partition("staging")
-        self.staging = StagingArea(
-            self.sim,
-            self.network,
-            core_rate=config.spec.core_rate,
-            total_cores=config.staging_cores,
-            active_cores=config.staging_cores,
-            memory_bytes=staging_partition.total_memory,
-            tracer=tracer,
-            metrics=metrics,
-            ledger=ledger,
-            faults=faults,
-            profiler=profiler,
-        )
+        if (machine is None) != (network is None):
+            raise WorkflowError(
+                "machine and network must be injected together"
+            )
+        if machine is None:
+            self.machine, self.network = build_workflow_machine(
+                self.sim, config.spec, config.sim_cores, config.staging_cores
+            )
+        else:
+            self.machine, self.network = machine, network
+        if staging is None:
+            staging_partition = self.machine.partition("staging")
+            self.staging = StagingArea(
+                self.sim,
+                self.network,
+                core_rate=config.spec.core_rate,
+                total_cores=config.staging_cores,
+                active_cores=config.staging_cores,
+                memory_bytes=staging_partition.total_memory,
+                tracer=tracer,
+                metrics=metrics,
+                ledger=ledger,
+                faults=faults,
+                profiler=profiler,
+            )
+        else:
+            self.staging = staging
+        self._staging_resizer = staging_resizer
+        self._staging_ceiling = staging_ceiling
         if faults is not None:
             faults.attach_network(self.network)
             faults.arm()
-        self.pfs = ParallelFileSystem(
-            self.sim,
-            self.network,
-            write_bandwidth=config.spec.pfs_write_bandwidth,
-            read_bandwidth=config.spec.pfs_read_bandwidth,
-            latency=config.spec.pfs_latency,
-        )
+        if pfs is None:
+            self.pfs = ParallelFileSystem(
+                self.sim,
+                self.network,
+                write_bandwidth=config.spec.pfs_write_bandwidth,
+                read_bandwidth=config.spec.pfs_read_bandwidth,
+                latency=config.spec.pfs_latency,
+            )
+        else:
+            # Shared storage injected by the service: all tenants' writes
+            # and reads contend on the same PFS pipes, and the byte
+            # accounting is fabric-wide rather than per tenant.
+            self.pfs = pfs
         self.pfs.attach("sim")
         self.pfs.attach("staging")
         uplink = self.network.link_between("sim", "staging")
@@ -204,6 +252,9 @@ class CoupledWorkflow:
         self._post_tasks: list[tuple[StepMetrics, float, float]] = []
         self._post_busy_core_seconds = 0.0
         self._last_healthy = self.staging.healthy_cores
+        self._main = None
+        self._started_at = 0.0
+        self._result: WorkflowResult | None = None
 
     # -- public API ---------------------------------------------------------
 
@@ -215,6 +266,22 @@ class CoupledWorkflow:
         return self._run()
 
     def _run(self) -> WorkflowResult:
+        self.sim.run(self.start())
+        return self.finalize()
+
+    def start(self):
+        """Emit ``run.start`` and launch the simulation pipeline process.
+
+        Returns the main :class:`~repro.hpc.event.Process`.  The direct
+        path (:meth:`run`) drives the simulator itself; the multi-tenant
+        service instead starts each admitted tenant on the shared
+        simulator and calls :meth:`finalize` from a completion watcher
+        that runs at exactly the moment this process finishes, so every
+        time integral closes at the tenant's own end time.
+        """
+        if self._main is not None:
+            raise WorkflowError("workflow already started")
+        self._started_at = self.sim.now
         if self.tracer is not None and self.tracer.enabled:
             self.tracer.emit(
                 RUN_START,
@@ -224,8 +291,23 @@ class CoupledWorkflow:
                 steps=len(self.trace),
                 trace=self.trace.name,
             )
-        main = self.sim.process(self._simulation(), name="simulation")
-        self.sim.run(main)
+        self._main = self.sim.process(self._simulation(), name="simulation")
+        return self._main
+
+    def finalize(self) -> WorkflowResult:
+        """Close the run out; returns validated aggregate metrics.
+
+        Must be called with the simulator clock at the main process's
+        completion time (true after :meth:`run`'s ``sim.run`` and inside
+        the service's completion watcher).  Idempotent.
+        """
+        if self._main is None:
+            raise WorkflowError("workflow never started")
+        if not self._main.triggered:
+            raise WorkflowError("simulation pipeline still running")
+        if self._result is not None:
+            return self._result
+        elapsed = self.sim.now - self._started_at
         if self.metrics is not None:
             # The kernel's always-on tallies, published once per run so
             # dashboards see event traffic without polling the kernel.
@@ -236,15 +318,15 @@ class CoupledWorkflow:
         if self.tracer is not None and self.tracer.enabled:
             self.tracer.emit(
                 RUN_END,
-                end_to_end_seconds=self.sim.now,
+                end_to_end_seconds=elapsed,
                 total_sim_seconds=self._total_sim_seconds,
                 data_moved_bytes=self.staging.bytes_ingested,
             )
-        energy, breakdown = self._energy()
+        energy, breakdown = self._energy(elapsed)
         result = WorkflowResult(
             mode=self.config.mode.value,
             steps=self._metrics,
-            end_to_end_seconds=self.sim.now,
+            end_to_end_seconds=elapsed,
             total_sim_seconds=self._total_sim_seconds,
             data_moved_bytes=self.staging.bytes_ingested,
             utilization_efficiency=self.staging.utilization_efficiency(),
@@ -256,18 +338,20 @@ class CoupledWorkflow:
             energy_breakdown=breakdown,
         )
         result.validate()
+        self._result = result
         return result
 
-    def _energy(self) -> tuple[float, dict[str, float]]:
+    def _energy(self, elapsed: float) -> tuple[float, dict[str, float]]:
         """Energy model over the whole run (the paper's future-work topic).
 
         Cores draw ``core_power_active`` while computing and
         ``core_power_idle`` while allocated but idle; every byte through
         the fabric (staging ingest + PFS traffic) costs
-        ``network_energy_per_byte``.
+        ``network_energy_per_byte``.  Under the multi-tenant service the
+        ``data_movement`` term is fabric-wide (the network is shared
+        infrastructure), not attributed per tenant.
         """
         spec = self.config.spec
-        elapsed = self.sim.now
         n = self.config.sim_cores
         sim_busy = n * (
             self._total_sim_seconds + sum(m.insitu_seconds for m in self._metrics)
@@ -363,9 +447,13 @@ class CoupledWorkflow:
                 insitu_seconds += reduce_seconds
 
             if decision.staging_cores is not None:
-                self.staging.set_active_cores(
-                    min(decision.staging_cores, self.staging.total_cores)
-                )
+                requested = min(decision.staging_cores, self.staging.total_cores)
+                if self._staging_resizer is not None:
+                    # Multi-tenant service: rightsizing negotiates with the
+                    # shared pool instead of resizing the area directly.
+                    self._staging_resizer(requested)
+                else:
+                    self.staging.set_active_cores(requested)
                 if self.ledger is not None and self.ledger.has_pending(
                     "staging_cores", record.step
                 ):
@@ -621,7 +709,11 @@ class CoupledWorkflow:
             # after a core loss this is the surviving pool (healthy ==
             # total on the fault-free path).
             staging_active_cores=min(self.staging.active_cores, max(1, healthy)),
-            staging_total_cores=max(1, healthy),
+            staging_total_cores=(
+                max(1, healthy)
+                if self._staging_ceiling is None
+                else max(1, int(self._staging_ceiling()))
+            ),
             staging_memory_total=self.staging.memory_total,
             staging_memory_used=self.staging.memory_used,
             staging_busy=self.staging.busy,

@@ -1,0 +1,69 @@
+"""Tests for the multi-tenant contention sweep (fig_tenants)."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import fig_tenants
+from repro.service import ADMISSION_POLICIES
+
+
+class TestGrid:
+    def test_grid_is_policy_major_count_minor(self):
+        grid = fig_tenants.grid()
+        assert len(grid) == (
+            len(fig_tenants.POLICY_NAMES) * len(fig_tenants.TENANT_COUNTS)
+        )
+        assert grid[0] == {
+            "policy": "fifo", "tenants": 1, "steps": fig_tenants.STEPS,
+        }
+        head = grid[: len(fig_tenants.TENANT_COUNTS)]
+        assert [p["policy"] for p in head] == (
+            ["fifo"] * len(fig_tenants.TENANT_COUNTS)
+        )
+
+    def test_every_admission_policy_swept(self):
+        assert set(fig_tenants.POLICY_NAMES) == set(ADMISSION_POLICIES)
+
+
+class TestRunPoint:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return {
+            count: fig_tenants.run_point(
+                {"policy": "fifo", "tenants": count, "steps": 6}
+            )
+            for count in (1, 2)
+        }
+
+    def test_solo_point_is_uncontended(self, rows):
+        solo = rows[1]
+        assert solo.tenants == 1
+        assert solo.mean_tts == solo.max_tts == pytest.approx(solo.makespan)
+        assert solo.mean_queue_wait == 0.0
+        assert solo.fairness_index == 1.0
+        assert solo.starvations == 0
+
+    def test_contention_degrades_time_to_solution(self, rows):
+        # The ISSUE 10 acceptance criterion: sharing the machine costs
+        # measurable time-to-solution against the solo baseline.
+        assert rows[2].mean_tts > rows[1].mean_tts
+        assert rows[2].makespan > rows[1].makespan
+
+    def test_merge_orders_rows_and_lookup(self, rows):
+        result = fig_tenants.merge(list(rows.values()))
+        assert result.rows == tuple(rows.values())
+        assert result.row("fifo", 1) is rows[1]
+        with pytest.raises(ExperimentError):
+            result.row("fifo", 99)
+
+    def test_render_shows_degradation_column(self, rows):
+        text = fig_tenants.render(fig_tenants.merge(list(rows.values())))
+        assert "Multi-tenant contention" in text
+        assert "+0%" in text  # the solo baseline row
+        assert "fifo" in text
+
+    def test_render_without_solo_point_falls_back(self, rows):
+        # A CLI-filtered sweep (--tenants 2) has no solo baseline: the
+        # row becomes its own reference instead of raising.
+        text = fig_tenants.render(fig_tenants.merge([rows[2]]))
+        assert "+0%" in text

@@ -156,6 +156,61 @@ class TestMergeWorkerMetrics:
             )
 
 
+class TestMergeDuplicateAndConflictingDumps:
+    """Pin the merge semantics for re-delivered and disagreeing dumps.
+
+    Worker dumps are *deltas*, not snapshots: folding the same dump in
+    twice double-counts counters and timer tallies (the caller owns
+    at-most-once delivery), while gauges -- last-write-wins -- are
+    idempotent under re-delivery.  Two dumps that disagree on a metric's
+    kind fail loudly on the second dump, after the first has already
+    been applied.
+    """
+
+    def test_duplicate_dump_double_counts_counters_and_timers(self):
+        worker = MetricsRegistry()
+        worker.counter("hits").inc(3)
+        worker.timer("lat").observe(2.0)
+        dump = worker.dump()
+        parent = MetricsRegistry()
+        merge_worker_metrics(parent, [dump, dump])
+        assert parent.counter("hits").value == 6.0
+        assert parent.timer("lat").count == 2
+        assert parent.timer("lat").total == pytest.approx(4.0)
+        # The count-weighted EMA average of two identical dumps is the
+        # dump's own value -- duplication skews tallies, not the average.
+        assert parent.timer("lat").value == pytest.approx(2.0)
+
+    def test_duplicate_dump_is_idempotent_for_gauges(self):
+        worker = MetricsRegistry()
+        worker.gauge("mem").set(7.0)
+        dump = worker.dump()
+        parent = MetricsRegistry()
+        merge_worker_metrics(parent, [dump])
+        once = parent.gauge("mem").value
+        merge_worker_metrics(parent, [dump])
+        assert parent.gauge("mem").value == once == 7.0
+
+    def test_dumps_disagreeing_on_kind_fail_after_first_applies(self):
+        parent = MetricsRegistry()
+        with pytest.raises(ObservabilityError, match="Counter"):
+            merge_worker_metrics(parent, [
+                {"x": {"kind": "counter", "value": 1.0}},
+                {"x": {"kind": "gauge", "value": 2.0}},
+            ])
+        # The first dump landed before the conflict was detected.
+        assert parent.counter("x").value == 1.0
+
+    def test_timer_vs_counter_disagreement_is_an_error(self):
+        parent = MetricsRegistry()
+        with pytest.raises(ObservabilityError):
+            merge_worker_metrics(parent, [
+                {"lat": {"kind": "timer", "value": 1.0, "count": 1,
+                         "total": 1.0, "alpha": 0.3}},
+                {"lat": {"kind": "counter", "value": 1.0}},
+            ])
+
+
 class TestNameRegistry:
     def test_builtin_names_are_namespaced_and_described(self):
         for name, description in METRIC_NAMES.items():

@@ -460,3 +460,27 @@ class TestProfiledWorkflow:
         assert run.count == 1
         # The event loop dominates the run's wall time.
         assert 0.0 < sim.cum_seconds <= run.cum_seconds
+
+
+class TestMergeDuplicateProfileDumps:
+    """Profile dumps are deltas too: re-delivery doubles every tally."""
+
+    def test_duplicate_dump_doubles_counts_and_seconds(self):
+        dump = {"sweep.point": {"count": 2, "cum_seconds": 4.0,
+                                "self_seconds": 3.0}}
+        parent = merge_worker_profiles(Profiler(), [dump, dump])
+        stat = parent.get("sweep.point")
+        assert stat.count == 4
+        assert stat.cum_seconds == 8.0
+        assert stat.self_seconds == 6.0
+
+    def test_duplicate_merge_into_live_parent_stats(self):
+        parent = _ticking()
+        with parent.span("sweep.point"):
+            pass
+        base = parent.get("sweep.point").count
+        dump = {"sweep.point": {"count": 1, "cum_seconds": 1.0,
+                                "self_seconds": 1.0}}
+        merge_worker_profiles(parent, [dump])
+        merge_worker_profiles(parent, [dump])
+        assert parent.get("sweep.point").count == base + 2

@@ -1,0 +1,136 @@
+"""Unit tests for the admission queue and its ordering policies."""
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service import ADMISSION_POLICIES, AdmissionController
+
+
+class Candidate:
+    """Stand-in tenant: the controller treats entries as opaque."""
+
+    def __init__(self, name, footprint, user="default"):
+        self.name = name
+        self.footprint = footprint
+        self.user = user
+
+    def __repr__(self):
+        return f"Candidate({self.name})"
+
+
+def pick(controller, fits=lambda t: True, usage=None):
+    return controller.pick(
+        fits=fits,
+        footprint=lambda t: t.footprint,
+        user=lambda t: t.user,
+        usage=usage if usage is not None else {},
+    )
+
+
+class TestQueueMechanics:
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ServiceError):
+            AdmissionController(policy="priority")
+
+    def test_negative_max_queue_rejected(self):
+        with pytest.raises(ServiceError):
+            AdmissionController(max_queue=-1)
+
+    def test_every_documented_policy_constructs(self):
+        for policy in ADMISSION_POLICIES:
+            assert AdmissionController(policy=policy).policy == policy
+
+    def test_bounded_queue_rejects_overflow(self):
+        q = AdmissionController(max_queue=2)
+        assert q.enqueue(Candidate("a", 1))
+        assert q.enqueue(Candidate("b", 1))
+        assert q.full
+        assert not q.enqueue(Candidate("c", 1))
+        assert len(q) == 2
+
+    def test_zero_capacity_rejects_everything(self):
+        q = AdmissionController(max_queue=0)
+        assert not q.enqueue(Candidate("a", 1))
+
+    def test_pick_on_empty_queue(self):
+        assert pick(AdmissionController()) is None
+
+    def test_pick_removes_the_returned_entry(self):
+        q = AdmissionController()
+        a = Candidate("a", 1)
+        q.enqueue(a)
+        assert pick(q) is a
+        assert len(q) == 0
+
+
+class TestFifo:
+    def test_arrival_order(self):
+        q = AdmissionController(policy="fifo")
+        a, b = Candidate("a", 8), Candidate("b", 2)
+        q.enqueue(a)
+        q.enqueue(b)
+        assert pick(q) is a
+        assert pick(q) is b
+
+    def test_head_of_line_blocking(self):
+        # The head doesn't fit: nothing behind it is considered, even
+        # though b would fit.  This is fifo's defining failure mode.
+        q = AdmissionController(policy="fifo")
+        q.enqueue(Candidate("a", 8))
+        q.enqueue(Candidate("b", 2))
+        assert pick(q, fits=lambda t: t.footprint <= 4) is None
+        assert len(q) == 2
+
+
+class TestSmallest:
+    def test_backfills_past_blocked_head(self):
+        q = AdmissionController(policy="smallest")
+        q.enqueue(Candidate("wide", 8))
+        narrow = Candidate("narrow", 2)
+        q.enqueue(narrow)
+        assert pick(q, fits=lambda t: t.footprint <= 4) is narrow
+        assert len(q) == 1
+
+    def test_orders_by_footprint(self):
+        q = AdmissionController(policy="smallest")
+        big, small = Candidate("big", 16), Candidate("small", 1)
+        q.enqueue(big)
+        q.enqueue(small)
+        assert pick(q) is small
+
+    def test_ties_keep_arrival_order(self):
+        q = AdmissionController(policy="smallest")
+        first, second = Candidate("first", 4), Candidate("second", 4)
+        q.enqueue(first)
+        q.enqueue(second)
+        assert pick(q) is first
+
+
+class TestFairShare:
+    def test_least_served_user_first(self):
+        q = AdmissionController(policy="fair_share")
+        heavy = Candidate("heavy", 4, user="alice")
+        light = Candidate("light", 4, user="bob")
+        q.enqueue(heavy)
+        q.enqueue(light)
+        assert pick(q, usage={"alice": 100.0, "bob": 5.0}) is light
+
+    def test_unseen_user_counts_as_zero(self):
+        q = AdmissionController(policy="fair_share")
+        veteran = Candidate("veteran", 4, user="alice")
+        newcomer = Candidate("newcomer", 4, user="carol")
+        q.enqueue(veteran)
+        q.enqueue(newcomer)
+        assert pick(q, usage={"alice": 1.0}) is newcomer
+
+    def test_falls_through_to_fitting_candidate(self):
+        q = AdmissionController(policy="fair_share")
+        q.enqueue(Candidate("light-but-wide", 8, user="bob"))
+        heavy_narrow = Candidate("heavy-but-narrow", 2, user="alice")
+        q.enqueue(heavy_narrow)
+        got = pick(
+            q,
+            fits=lambda t: t.footprint <= 4,
+            usage={"alice": 100.0, "bob": 0.0},
+        )
+        assert got is heavy_narrow

@@ -174,3 +174,74 @@ class TestResizeAndUtilization:
             s.run()
             results[label] = area.utilization_efficiency()
         assert results["adaptive"] > results["static"]
+
+
+class TestResizeFaultInterleaving:
+    """Regression: an Eq. 9-10 resize racing a fault window must preserve
+    the core invariant ``active_cores <= healthy_cores <= total_cores``
+    (with a nominal single-core active set during a total blackout).
+
+    The buggy area skipped the resize clamp whenever no core was healthy,
+    so a resize landing inside a blackout window enabled up to
+    ``total_cores``, and a later partial restore left jobs running on
+    more cores than were physically healthy.
+    """
+
+    def _invariant_ok(self, area):
+        return area.active_cores <= max(1, area.healthy_cores) <= area.total_cores
+
+    def test_resize_during_seeded_blackout_is_clamped(self):
+        from repro.faults import FaultInjector
+        from repro.faults.scenarios import build_scenario
+
+        plan = build_scenario("blackout", horizon=100.0, seed=7,
+                              staging_cores=8, steps=12)
+        injector = FaultInjector(plan)
+        sim = Simulator(faults=injector)
+        net = Network(sim)
+        net.add_link("sim", "staging", bandwidth=1e9, latency=0.0)
+        area = StagingArea(sim, net, core_rate=10.0, total_cores=8,
+                           faults=injector)
+        injector.attach_network(net)
+        injector.arm()
+        observed = []
+
+        def resize_mid_blackout():
+            # The blackout scenario kills all cores over [0.35, 0.65] of
+            # the horizon; land the resize squarely inside the window.
+            yield sim.timeout(50.0)
+            observed.append(("reachable", area.reachable))
+            area.set_active_cores(8)
+            observed.append(("invariant", self._invariant_ok(area)))
+
+        sim.process(resize_mid_blackout())
+        sim.run()
+        assert ("reachable", False) in observed
+        assert ("invariant", True) in observed, (
+            "resize during blackout must clamp to the healthy pool"
+        )
+        assert self._invariant_ok(area)
+
+    def test_partial_restore_cannot_exceed_healthy_cores(self, sim):
+        area = make_area(sim, cores=8)
+        assert area.fail_cores(8) == 8
+        # Full blackout: the nominal active set collapses to one core.
+        assert area.active_cores == 1
+        # A resize landing during the blackout stays clamped.
+        area.set_active_cores(5)
+        assert area.active_cores == 1
+        assert area.restore_cores(4) == 4
+        assert self._invariant_ok(area)
+        # Restored capacity is re-enabled by an explicit resize only.
+        area.set_active_cores(8)
+        assert area.active_cores == 4
+        assert self._invariant_ok(area)
+
+    def test_fault_free_resize_path_unchanged(self, sim):
+        area = make_area(sim, cores=8)
+        area.set_active_cores(3)
+        assert area.active_cores == 3
+        area.set_active_cores(8)
+        assert area.active_cores == 8
+        with pytest.raises(StagingError):
+            area.set_active_cores(9)

@@ -26,7 +26,7 @@ class TestCLI:
         # Every evaluated figure/table of the paper has a CLI entry.
         expected = {"fig1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
                     "fig10", "fig11", "table2", "ablations", "objectives",
-                    "fig_triggers"}
+                    "fig_triggers", "fig_tenants"}
         assert expected == set(EXPERIMENTS)
 
     def test_descriptions_nonempty(self):
@@ -69,3 +69,39 @@ class TestRunAllCLI:
         assert "run-all" in SUBCOMMANDS
         assert main(["list"]) == 0
         assert "run-all" in capsys.readouterr().out
+
+
+class TestTenantsCLI:
+    def test_listed_as_subcommand(self, capsys):
+        from repro.__main__ import SUBCOMMANDS
+
+        assert "tenants" in SUBCOMMANDS
+        assert main(["list"]) == 0
+        assert "tenants" in capsys.readouterr().out
+
+    def test_list_policies(self, capsys):
+        from repro.service import ADMISSION_POLICIES
+
+        assert main(["tenants", "--list"]) == 0
+        out = capsys.readouterr().out
+        for name in ADMISSION_POLICIES:
+            assert name in out
+
+    def test_smoke_runs_and_passes(self, capsys):
+        assert main(["tenants", "--smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "tenant smoke: OK" in out
+        assert "Multi-tenant contention" in out
+
+    def test_single_point(self, capsys):
+        assert main(
+            ["tenants", "--policy", "smallest", "--tenants", "2",
+             "--steps", "4"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "smallest" in out
+
+    def test_unknown_policy_fails(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["tenants", "--policy", "bogus"])
+        assert "unknown admission policy" in capsys.readouterr().err

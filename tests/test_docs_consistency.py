@@ -16,6 +16,10 @@ import pytest
 
 import repro.faults as faults
 import repro.observability as observability
+
+# Importing the service package registers the `tenant` kernel event
+# kind, so the kernel-taxonomy checks below see the full registry.
+import repro.service as service
 from repro.__main__ import EXPERIMENTS, SUBCOMMANDS
 from repro.faults import FAULT_KINDS, SCENARIOS
 from repro.observability import (
@@ -36,6 +40,7 @@ PERFORMANCE_DOC = REPO / "docs" / "performance.md"
 FAULTS_DOC = REPO / "docs" / "faults.md"
 TRIGGERS_DOC = REPO / "docs" / "triggers.md"
 PROFILING_DOC = REPO / "docs" / "profiling.md"
+SERVICE_DOC = REPO / "docs" / "service.md"
 
 
 @pytest.fixture(scope="module")
@@ -428,6 +433,62 @@ class TestKernelDocs:
     def test_linked_from_readme_and_architecture(self):
         assert "kernel.md" in (REPO / "README.md").read_text()
         assert "kernel.md" in (REPO / "docs" / "architecture.md").read_text()
+
+
+class TestServiceDocs:
+    @pytest.fixture(scope="class")
+    def service_doc(self) -> str:
+        assert SERVICE_DOC.exists(), "docs/service.md is missing"
+        return SERVICE_DOC.read_text()
+
+    def test_every_public_symbol_documented(self, service_doc):
+        missing = [name for name in service.__all__
+                   if name not in service_doc]
+        assert not missing, f"undocumented service symbols: {missing}"
+
+    def test_every_admission_policy_documented(self, service_doc):
+        from repro.service import ADMISSION_POLICIES
+
+        missing = [name for name in ADMISSION_POLICIES
+                   if f"`{name}`" not in service_doc]
+        assert not missing, f"undocumented admission policies: {missing}"
+
+    def test_every_admission_policy_has_description(self):
+        from repro.service import ADMISSION_POLICIES
+
+        empty = [name for name, description in ADMISSION_POLICIES.items()
+                 if not description.strip()]
+        assert not empty, f"admission policies without a description: {empty}"
+
+    def test_tenant_event_kinds_and_metrics_documented(
+            self, observability_doc):
+        for name in ("tenant.submitted", "tenant.queued", "tenant.admitted",
+                     "tenant.rejected", "tenant.grant", "tenant.starved",
+                     "tenant.completed", "service.tenants_admitted",
+                     "service.queue_wait_seconds",
+                     "service.staging_committed_cores",
+                     "service.grant_expansions", "service.starvations"):
+            assert f"`{name}`" in observability_doc, (
+                f"{name} missing from docs/observability.md"
+            )
+
+    def test_tenant_kernel_kind_documented(self):
+        # Importing repro.service (top of this module) registers the
+        # kind; the taxonomy checks in TestKernelDocs then cover the
+        # row itself.
+        from repro.hpc.kernel import KERNEL_EVENT_KINDS
+
+        assert "tenant" in KERNEL_EVENT_KINDS
+        assert "`tenant`" in (REPO / "docs" / "kernel.md").read_text()
+
+    def test_sweep_cli_documented(self, service_doc):
+        assert "repro tenants" in service_doc
+        assert "fig_tenants" in service_doc
+        assert "--smoke" in service_doc
+
+    def test_linked_from_readme_and_architecture(self):
+        assert "service.md" in (REPO / "README.md").read_text()
+        assert "service.md" in (REPO / "docs" / "architecture.md").read_text()
 
 
 class TestApiDocs:
